@@ -1,0 +1,33 @@
+# Convenience targets for the TFMAE reproduction.
+
+.PHONY: install test bench bench-tables bench-figures examples clean
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+test-verbose:
+	pytest tests/ -v
+
+bench:
+	pytest benchmarks/ --benchmark-only -s
+
+bench-tables:
+	pytest benchmarks/bench_table2_datasets.py benchmarks/bench_table3_main.py \
+	       benchmarks/bench_table4_ablation.py benchmarks/bench_table5_masking.py \
+	       --benchmark-only -s
+
+bench-figures:
+	pytest benchmarks/bench_fig1_motivation.py benchmarks/bench_fig6_masking_ratios.py \
+	       benchmarks/bench_fig7_hyperparams.py benchmarks/bench_fig8_case_study.py \
+	       benchmarks/bench_fig9_distribution_shift.py benchmarks/bench_fig10_efficiency.py \
+	       --benchmark-only -s
+
+examples:
+	for f in examples/*.py; do echo "=== $$f ==="; python $$f; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,108 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper at a reduced,
+CPU-friendly scale.  Two environment variables control cost:
+
+``REPRO_BENCH_SCALE``
+    Dataset length multiplier relative to the paper's Table II sizes
+    (default 0.01 — about 1% of the full lengths).
+``REPRO_BENCH_EPOCHS``
+    Training epochs for the neural methods (default 6; the paper uses 1
+    epoch at ~100x the data, so several epochs at 1% keep the number of
+    gradient updates in a comparable regime).
+
+Threshold ratios: the paper's per-dataset ``r`` values (0.3-0.9%) are
+tuned for the full-length datasets.  At 1% scale the score distributions
+are noisier, so each bench dataset uses a scale-appropriate ``r`` of
+roughly half its anomaly rate — applied identically to *every* method, so
+the comparison stays fair (the quantity Table III ranks).
+
+Each bench prints its table and writes a copy under
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.core import TFMAEConfig, preset_for
+from repro.datasets import PROFILE_SPECS, get_dataset
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.01"))
+EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "8"))
+SEED = 0
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The five real-world datasets of Tables III-V.
+TABLE_DATASETS = ["SWaT", "PSM", "SMD", "MSL", "SMAP"]
+
+#: Bench-scale threshold ratios r%.  The paper fixes one r per dataset for
+#: all methods, chosen per dataset on validation behaviour (Section
+#: V-A.4); these are the bench-scale equivalents, selected the same way
+#: on the surrogate datasets.
+BENCH_ANOMALY_RATIO = {
+    "SWaT": 15.0,
+    "PSM": 20.0,
+    "SMD": 2.0,
+    "MSL": 15.0,
+    "SMAP": 6.0,
+    "NIPS-TS-Global": 2.5,
+    "NIPS-TS-Seasonal": 5.0,
+}
+
+
+def bench_scale(dataset: str) -> float:
+    """Per-dataset scale: at least SCALE, raised so short datasets keep
+    2000 train / 600 validation / 2000 test observations — below that,
+    threshold percentiles estimated on the validation split are noise and
+    every method's Table III row degenerates."""
+    spec = PROFILE_SPECS.get(dataset)
+    if spec is None:
+        return SCALE
+    needed = max(
+        2000.0 / spec.train_len,
+        600.0 / spec.val_len,
+        2000.0 / spec.test_len,
+    )
+    return max(SCALE, needed)
+
+
+def bench_dataset(name: str):
+    """The bench realisation of a dataset (seeded, per-dataset scale)."""
+    return get_dataset(name, seed=SEED, scale=bench_scale(name))
+
+
+def bench_tfmae_config(dataset: str, **overrides) -> TFMAEConfig:
+    """The paper's per-dataset TFMAE preset shrunk to bench scale.
+
+    Architecture is reduced (d_model 128->32, layers 3->2) because the
+    bench datasets are ~1% of the real lengths; the masking ratios and
+    threshold ratios stay exactly as published.
+    """
+    base = TFMAEConfig(
+        window_size=100,
+        d_model=32,
+        num_layers=2,
+        num_heads=4,
+        batch_size=16,
+        epochs=EPOCHS,
+        learning_rate=1e-3,
+        seed=SEED,
+    )
+    if dataset in BENCH_ANOMALY_RATIO:
+        overrides.setdefault("anomaly_ratio", BENCH_ANOMALY_RATIO[dataset])
+    return preset_for(dataset, base=base, **overrides)
+
+
+def baseline_kwargs() -> dict:
+    """Constructor kwargs shared by all deep baselines at bench scale."""
+    return dict(window_size=100, epochs=EPOCHS, batch_size=16, seed=SEED)
+
+
+def save_result(name: str, text: str) -> None:
+    """Print a bench table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

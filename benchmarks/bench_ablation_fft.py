@@ -1,0 +1,43 @@
+"""Extra ablation — FFT acceleration of the coefficient of variation.
+
+DESIGN.md calls out the FFT acceleration (Eq. 4-5, Wiener-Khinchin) as a
+design choice worth measuring in isolation.  This bench uses
+pytest-benchmark properly (multiple rounds) to time the naive O(N*|S|*W)
+loop against the O(N*|S|*log|S|) FFT form on a fixed workload, and
+asserts their outputs agree.
+
+Expected shape: the FFT form wins by an order of magnitude or more at
+|S| = 10^4, consistent with the "w/o FFT" slowdown in Fig. 10.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.masking import coefficient_of_variation_fft, coefficient_of_variation_naive
+
+LENGTH = 4000
+FEATURES = 8
+WINDOW = 10
+
+_series = np.random.default_rng(0).normal(size=(LENGTH, FEATURES))
+
+
+def test_fft_cov_speed(benchmark):
+    result = benchmark(coefficient_of_variation_fft, _series, WINDOW)
+    assert result.shape == (LENGTH,)
+
+
+def test_naive_cov_speed(benchmark):
+    # One round is enough — this is the slow side of the comparison.
+    result = benchmark.pedantic(
+        coefficient_of_variation_naive, args=(_series, WINDOW), rounds=1, iterations=1
+    )
+    assert result.shape == (LENGTH,)
+
+
+def test_fft_and_naive_agree():
+    fast = coefficient_of_variation_fft(_series, WINDOW)
+    slow = coefficient_of_variation_naive(_series, WINDOW)
+    np.testing.assert_allclose(fast, slow, atol=1e-8)

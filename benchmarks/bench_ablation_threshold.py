@@ -1,0 +1,67 @@
+"""Extra ablation — threshold strategies.
+
+DESIGN.md calls out the threshold protocol as a sensitivity of the whole
+evaluation: the paper fixes a per-dataset ratio ``r`` (Eq. 17).  This
+bench compares, for TFMAE on every bench dataset:
+
+* the paper's ratio rule (validation percentile),
+* the POT / extreme-value rule (Siffer et al., the paper's ref. [51]),
+* the label-peeking best-F1 oracle (upper bound).
+
+Expected shape: the ratio rule sits between POT and the oracle; the gap
+to the oracle quantifies how much headroom threshold selection leaves —
+context for interpreting every F1 in Tables III-V.
+"""
+
+from __future__ import annotations
+
+from repro import TFMAE
+from repro.metrics import (
+    apply_threshold,
+    best_f1_threshold,
+    evaluate_detection,
+    pot_threshold,
+    ratio_threshold,
+)
+
+from _common import (
+    BENCH_ANOMALY_RATIO,
+    TABLE_DATASETS,
+    bench_dataset,
+    bench_tfmae_config,
+    save_result,
+)
+
+
+def run_threshold_ablation() -> str:
+    lines = [
+        "Threshold-strategy ablation (TFMAE, point-adjusted F1%)",
+        f"{'dataset':<8} {'ratio rule':>11} {'POT/EVT':>9} {'oracle':>8}",
+    ]
+    for dataset_name in TABLE_DATASETS:
+        dataset = bench_dataset(dataset_name).normalised()
+        detector = TFMAE(bench_tfmae_config(dataset_name))
+        detector.fit(dataset.train, dataset.validation)
+        validation_scores = detector.score(dataset.validation)
+        test_scores = detector.score(dataset.test)
+
+        ratio = BENCH_ANOMALY_RATIO[dataset_name]
+        f1_ratio = evaluate_detection(
+            apply_threshold(test_scores, ratio_threshold(validation_scores, ratio)),
+            dataset.test_labels,
+        ).f1
+        f1_pot = evaluate_detection(
+            apply_threshold(test_scores, pot_threshold(validation_scores, q=ratio / 100.0)),
+            dataset.test_labels,
+        ).f1
+        _, f1_oracle = best_f1_threshold(test_scores, dataset.test_labels)
+        lines.append(
+            f"{dataset_name:<8} {f1_ratio * 100:>11.2f} {f1_pot * 100:>9.2f} "
+            f"{f1_oracle * 100:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def test_threshold_strategy_ablation(benchmark):
+    table = benchmark.pedantic(run_threshold_ablation, rounds=1, iterations=1)
+    save_result("ablation_threshold", table)

@@ -1,0 +1,64 @@
+"""Extension bench — masked-autoencoder forecasting vs. naive floors.
+
+Not a paper table: it validates the future-work extension named in the
+paper's conclusion (Section VI).  The fixed-mask temporal autoencoder
+forecasts a periodic load signal; it must beat persistence and approach
+or beat seasonal naive once trained.
+
+Expected shape: TFMAE-forecast MSE < persistence MSE, and within the same
+order of magnitude as (or below) seasonal naive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.extensions import (
+    ForecastConfig,
+    TFMAEForecaster,
+    persistence_forecast,
+    seasonal_naive_forecast,
+)
+
+from _common import save_result
+
+
+def run_forecasting() -> str:
+    rng = np.random.default_rng(3)
+    t = np.arange(3000)
+    series = (
+        2.0
+        + np.sin(2 * np.pi * t / 24.0)
+        + 0.4 * np.sin(2 * np.pi * t / 168.0)
+        + rng.normal(0, 0.08, t.size)
+    )[:, None]
+    train, evaluation = series[:2400], series[2400:]
+
+    config = ForecastConfig(context_length=96, horizon=24, d_model=32,
+                            num_layers=2, num_heads=4, epochs=15, stride=4)
+    forecaster = TFMAEForecaster(config).fit(train)
+
+    errors: dict[str, list[float]] = {"TFMAE-forecast": [], "persistence": [], "seasonal": []}
+    for start in range(0, evaluation.shape[0] - config.window_size, config.horizon):
+        context = evaluation[start : start + config.context_length]
+        target = evaluation[start + config.context_length : start + config.window_size]
+        errors["TFMAE-forecast"].append(float(np.mean((forecaster.predict(context) - target) ** 2)))
+        errors["persistence"].append(
+            float(np.mean((persistence_forecast(context, config.horizon) - target) ** 2))
+        )
+        errors["seasonal"].append(
+            float(np.mean((seasonal_naive_forecast(context, config.horizon, 24) - target) ** 2))
+        )
+
+    lines = ["Extension: 24-step forecasting MSE (daily+weekly load signal)"]
+    for name, values in errors.items():
+        lines.append(f"{name:<15} {np.mean(values):.5f}")
+    return "\n".join(lines)
+
+
+def test_forecasting_extension(benchmark):
+    table = benchmark.pedantic(run_forecasting, rounds=1, iterations=1)
+    save_result("ext_forecasting", table)
+    # The learned forecaster must beat the persistence floor.
+    rows = {line.split()[0]: float(line.split()[-1]) for line in table.splitlines()[1:]}
+    assert rows["TFMAE-forecast"] < rows["persistence"]

@@ -1,0 +1,62 @@
+"""Figure 10 — accuracy vs. training speed vs. memory on SMD.
+
+The paper compares TFMAE against TranAD, AnoTran, TimesNet, DCdetector and
+GPT4TS, plus a "w/o FFT" TFMAE variant that computes the coefficient of
+variation with the naive double loop.  The bench measures wall-clock
+training time, peak heap and point-adjusted F1 for the same set.
+
+Expected shape: TFMAE sits in the top-left (high F1, fast, small); the
+"w/o FFT" variant is noticeably slower with identical accuracy; GPT4TS
+and AnoTran carry larger footprints.
+"""
+
+from __future__ import annotations
+
+from repro import TFMAE, evaluate_detector
+from repro.baselines import GPT4TS, AnomalyTransformer, DCdetector, TimesNet, TranAD
+from repro.eval import profile_detector
+
+from _common import (
+    BENCH_ANOMALY_RATIO,
+    EPOCHS,
+    SEED,
+    bench_dataset,
+    bench_tfmae_config,
+    save_result,
+)
+
+
+def _contenders() -> dict[str, object]:
+    ratio = BENCH_ANOMALY_RATIO["SMD"]
+    kwargs = dict(window_size=100, epochs=EPOCHS, batch_size=16,
+                  anomaly_ratio=ratio, seed=SEED)
+    return {
+        "TFMAE": TFMAE(bench_tfmae_config("SMD")),
+        "TFMAE w/o FFT": TFMAE(bench_tfmae_config("SMD", use_fft_acceleration=False)),
+        "TranAD": TranAD(**kwargs),
+        "AnoTran": AnomalyTransformer(**kwargs),
+        "TimesNet": TimesNet(**kwargs),
+        "DCdetector": DCdetector(**kwargs),
+        "GPT4TS": GPT4TS(**kwargs),
+    }
+
+
+def run_fig10() -> str:
+    dataset = bench_dataset("SMD")
+    lines = [
+        "Figure 10 (F1 vs training speed vs peak memory, SMD)",
+        f"{'method':<14} {'F1%':>7} {'fit_s':>8} {'obs/s':>10} {'peak_MB':>9}",
+    ]
+    for name, detector in _contenders().items():
+        profile = profile_detector(detector, dataset)
+        result = evaluate_detector(detector, dataset)  # refits; cheap at bench scale
+        lines.append(
+            f"{name:<14} {result.metrics.f1 * 100:>7.2f} {profile.fit_seconds:>8.2f} "
+            f"{profile.throughput_obs_per_s:>10.1f} {profile.peak_memory_mb:>9.1f}"
+        )
+    return "\n".join(lines)
+
+
+def test_fig10_efficiency(benchmark):
+    table = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    save_result("fig10_efficiency", table)

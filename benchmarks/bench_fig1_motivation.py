@@ -1,0 +1,87 @@
+"""Figure 1 (left) — the abnormal-bias motivation.
+
+The paper opens by showing TimesNet on NIPS-TS-Global: trained on data
+that *contains* anomalies, the reconstruction model learns to reconstruct
+them ("abnormal bias"), which compresses the anomaly/normal score gap.
+TFMAE masks likely anomalies before modelling, so contaminated training
+data barely affects it.
+
+The bench isolates exactly that mechanism: each model trains twice — once
+on a clean training split and once on a split contaminated with the same
+anomaly process as the test set — and reports the anomaly/normal score
+ratio under both conditions.
+
+Expected shape: contamination collapses TimesNet's ratio by a large
+factor, while TFMAE's ratio degrades far less (the "abnormal
+bias-resistant" claim).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import TFMAE
+from repro.baselines import TimesNet
+from repro.datasets import get_dataset, inject_global, random_positions
+
+from _common import EPOCHS, SCALE, SEED, bench_tfmae_config, save_result
+
+NIPS_SCALE = max(SCALE, 0.05)
+CONTAMINATION = 0.05  # same rate as the test anomalies
+# Abnormal bias needs enough optimisation for the model to start fitting
+# the contaminating anomalies; at bench scale that takes ~30 epochs
+# (mirroring the paper's 1 epoch over ~20x the data).
+FIG1_EPOCHS = max(EPOCHS, 30)
+
+
+def _contaminate(train: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    positions = random_positions(train.shape[0], int(CONTAMINATION * train.shape[0]), rng)
+    contaminated, _ = inject_global(train[:, 0], positions, rng)
+    return contaminated[:, None]
+
+
+def _score_ratio(detector, train, data) -> float:
+    detector.fit(train, data.validation)
+    scores = detector.score(data.test)
+    labels = data.test_labels.astype(bool)
+    return float(scores[labels].mean() / scores[~labels].mean())
+
+
+def run_fig1() -> str:
+    dataset = get_dataset("NIPS-TS-Global", seed=SEED, scale=NIPS_SCALE)
+    data = dataset.normalised()
+    rng = np.random.default_rng(SEED)
+    dirty_train = _contaminate(data.train, rng)
+
+    def timesnet():
+        # Reconstruction models only exhibit abnormal bias once they have
+        # optimised long enough to start fitting the contaminating points.
+        return TimesNet(window_size=100, epochs=FIG1_EPOCHS, batch_size=16,
+                        anomaly_ratio=2.5, seed=SEED)
+
+    def tfmae():
+        # TFMAE is deliberately trained briefly (the paper uses a single
+        # epoch at full scale) — prolonged adversarial training degrades
+        # the contrastive signal, so it runs at its normal operating point.
+        return TFMAE(bench_tfmae_config("NIPS-TS-Global"))
+
+    rows = []
+    for name, make in (("TimesNet", timesnet), ("TFMAE", tfmae)):
+        clean_ratio = _score_ratio(make(), data.train, data)
+        dirty_ratio = _score_ratio(make(), dirty_train, data)
+        retained = dirty_ratio / clean_ratio
+        rows.append(f"{name:<9} {clean_ratio:>12.2f} {dirty_ratio:>12.2f} {retained:>10.2f}")
+
+    return "\n".join([
+        "Figure 1(left) (abnormal bias: anomaly/normal score ratio,",
+        "               clean vs contaminated training, NIPS-TS-Global)",
+        f"{'model':<9} {'clean train':>12} {'dirty train':>12} {'retained':>10}",
+        *rows,
+        "(retained = dirty/clean; reconstruction models lose separation when",
+        " anomalies leak into training — TFMAE's masking shields it)",
+    ])
+
+
+def test_fig1_motivation(benchmark):
+    table = benchmark.pedantic(run_fig1, rounds=1, iterations=1)
+    save_result("fig1_motivation", table)

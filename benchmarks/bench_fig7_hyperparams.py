@@ -1,0 +1,54 @@
+"""Figure 7 — sensitivity to layers, hidden dimensions and CoV window.
+
+The paper sweeps Transformer depth L in [1..5], hidden dimension D in
+[32..512] and the statistic window W in [1..20] on MSL and SMD.  The bench
+sweeps reduced grids on the same two datasets.
+
+Expected shape: performance peaks at a moderate depth and dimension and
+falls off on both sides; W = 1 (masking by raw value) underperforms
+windowed statistics.
+"""
+
+from __future__ import annotations
+
+from repro import TFMAE, evaluate_detector
+
+from _common import bench_dataset, bench_tfmae_config, save_result
+
+LAYER_GRID = [1, 2, 3]
+DIM_GRID = [16, 32, 64]
+WINDOW_GRID = [1, 5, 10, 20]
+DATASETS = ["MSL", "SMD"]
+
+
+def run_fig7() -> str:
+    lines = ["Figure 7 (architecture/window sweeps, F1%)"]
+    for dataset_name in DATASETS:
+        dataset = bench_dataset(dataset_name)
+
+        row = [f"{dataset_name} layers L:"]
+        for layers in LAYER_GRID:
+            detector = TFMAE(bench_tfmae_config(dataset_name, num_layers=layers))
+            result = evaluate_detector(detector, dataset)
+            row.append(f"L={layers}:{result.metrics.f1 * 100:.1f}")
+        lines.append("  ".join(row))
+
+        row = [f"{dataset_name} dims D:"]
+        for dim in DIM_GRID:
+            detector = TFMAE(bench_tfmae_config(dataset_name, d_model=dim))
+            result = evaluate_detector(detector, dataset)
+            row.append(f"D={dim}:{result.metrics.f1 * 100:.1f}")
+        lines.append("  ".join(row))
+
+        row = [f"{dataset_name} window W:"]
+        for window in WINDOW_GRID:
+            detector = TFMAE(bench_tfmae_config(dataset_name, cov_window=window))
+            result = evaluate_detector(detector, dataset)
+            row.append(f"W={window}:{result.metrics.f1 * 100:.1f}")
+        lines.append("  ".join(row))
+    return "\n".join(lines)
+
+
+def test_fig7_hyperparameter_sensitivity(benchmark):
+    table = benchmark.pedantic(run_fig7, rounds=1, iterations=1)
+    save_result("fig7_hyperparams", table)

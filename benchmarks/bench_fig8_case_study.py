@@ -1,0 +1,68 @@
+"""Figure 8 — case study on the NIPS-TS synthetic benchmarks.
+
+The paper visualises anomaly-score traces of TFMAE vs. DCdetector on
+NIPS-TS-Seasonal and NIPS-TS-Global: TFMAE's scores spike exactly at the
+seasonal segment and the global observation anomalies, while DCdetector
+misses them.  The bench reports the numeric equivalent — score separation
+(mean anomaly score over mean normal score) and point-adjusted F1 for both
+methods on both datasets — plus an ASCII rendering of the score trace
+around the first anomaly.
+
+Expected shape: TFMAE separates both anomaly types clearly; DCdetector's
+separation is markedly weaker on at least one of the two.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import TFMAE, evaluate_detector
+from repro.baselines import DCdetector
+from repro.datasets import get_dataset
+
+from _common import BENCH_ANOMALY_RATIO, EPOCHS, SCALE, SEED, bench_tfmae_config, save_result
+
+DATASETS = ["NIPS-TS-Seasonal", "NIPS-TS-Global"]
+# NIPS datasets are shorter than the real ones; run them a bit larger.
+NIPS_SCALE = max(SCALE, 0.05)
+
+
+def _sparkline(values: np.ndarray, width: int = 60) -> str:
+    blocks = " .:-=+*#%@"
+    resampled = np.interp(
+        np.linspace(0, len(values) - 1, width), np.arange(len(values)), values
+    )
+    span = resampled.max() - resampled.min() + 1e-12
+    normalised = (resampled - resampled.min()) / span
+    return "".join(blocks[int(v * (len(blocks) - 1))] for v in normalised)
+
+
+def run_fig8() -> str:
+    lines = ["Figure 8 (case study: score traces, separation and F1)"]
+    for dataset_name in DATASETS:
+        dataset = get_dataset(dataset_name, seed=SEED, scale=NIPS_SCALE)
+        data = dataset.normalised()
+        labels = data.test_labels.astype(bool)
+        ratio = BENCH_ANOMALY_RATIO[dataset_name]
+
+        detectors = {
+            "TFMAE": TFMAE(bench_tfmae_config(dataset_name, anomaly_ratio=ratio)),
+            "DCdet": DCdetector(window_size=100, epochs=EPOCHS, batch_size=16,
+                                anomaly_ratio=ratio, seed=SEED),
+        }
+        first_anomaly = int(np.flatnonzero(labels)[0])
+        window = slice(max(0, first_anomaly - 100), first_anomaly + 100)
+        lines.append(f"\n{dataset_name}: first anomaly at t={first_anomaly}")
+        lines.append(f"  input   |{_sparkline(np.abs(data.test[window, 0]))}|")
+        for name, detector in detectors.items():
+            result = evaluate_detector(detector, dataset)
+            scores = detector.score(data.test)
+            separation = scores[labels].mean() / scores[~labels].mean()
+            lines.append(f"  {name:<7} |{_sparkline(scores[window])}|"
+                         f"  separation={separation:5.2f}  F1={result.metrics.f1 * 100:.1f}%")
+    return "\n".join(lines)
+
+
+def test_fig8_case_study(benchmark):
+    table = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    save_result("fig8_case_study", table)

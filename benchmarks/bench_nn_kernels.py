@@ -1,0 +1,62 @@
+"""Kernel micro-benchmarks for the numpy substrate.
+
+Not a paper figure: tracks the throughput of the hot kernels every
+training run is made of — attention forward+backward, the Transformer
+layer, the GRU unroll, im2col Conv1d, and the two masking transforms.
+Run with real pytest-benchmark rounds so regressions in the engine are
+visible:
+
+    pytest benchmarks/bench_nn_kernels.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.masking import FrequencyMasker, TemporalMasker
+from repro.nn import GRU, Conv1d, MultiHeadSelfAttention, Tensor, TransformerLayer
+
+_RNG = np.random.default_rng(0)
+_BATCH, _TIME, _DIM = 8, 100, 32
+_X = _RNG.normal(size=(_BATCH, _TIME, _DIM))
+_WINDOWS = _RNG.normal(size=(16, 100, 25))
+
+_attention = MultiHeadSelfAttention(_DIM, 4, _RNG)
+_layer = TransformerLayer(_DIM, 4, _RNG)
+_gru = GRU(_DIM, _DIM, _RNG)
+_conv = Conv1d(_DIM, _DIM, 5, _RNG, padding="same")
+_temporal = TemporalMasker(ratio=50.0, window=10)
+_frequency = FrequencyMasker(ratio=30.0)
+
+
+def _forward_backward(module, data: np.ndarray) -> float:
+    x = Tensor(data, requires_grad=True)
+    out = module(x)
+    (out * out).mean().backward()
+    return float(out.data.sum())
+
+
+def test_attention_forward_backward(benchmark):
+    benchmark(_forward_backward, _attention, _X)
+
+
+def test_transformer_layer_forward_backward(benchmark):
+    benchmark(_forward_backward, _layer, _X)
+
+
+def test_gru_forward_backward(benchmark):
+    benchmark(_forward_backward, _gru, _X[:, :50, :])  # unrolled loop is slow
+
+
+def test_conv1d_forward_backward(benchmark):
+    benchmark(_forward_backward, _conv, _X)
+
+
+def test_temporal_masking(benchmark):
+    result = benchmark(_temporal, _WINDOWS)
+    assert result.num_masked == 50
+
+
+def test_frequency_masking(benchmark):
+    result = benchmark(_frequency, _WINDOWS)
+    assert result.num_masked == 30

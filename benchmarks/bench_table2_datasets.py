@@ -1,0 +1,38 @@
+"""Table II — dataset statistics.
+
+Regenerates the paper's dataset summary (source, dimension, split sizes,
+anomaly ratio) from the synthetic surrogates, at bench scale.  Dimensions
+and anomaly ratios must match the published values; lengths are the
+published values times ``REPRO_BENCH_SCALE``.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import PROFILE_SPECS, available_datasets, get_dataset
+
+from _common import SCALE, save_result
+
+
+def build_table() -> str:
+    rows = [f"Table II (scale={SCALE})",
+            f"{'dataset':<18} {'dim':>4} {'train':>8} {'val':>8} {'test':>8} {'AR%':>6} {'paper AR%':>10}"]
+    paper_ar = {
+        "MSL": 10.5, "PSM": 27.8, "SMD": 4.2, "SWaT": 12.1, "SMAP": 12.8,
+        "NIPS-TS-Global": 5.0, "NIPS-TS-Seasonal": 5.0,
+    }
+    for name in available_datasets():
+        ds = get_dataset(name, scale=SCALE)
+        s = ds.summary()
+        rows.append(
+            f"{name:<18} {s['dimension']:>4} {s['train']:>8} {s['validation']:>8} "
+            f"{s['test']:>8} {s['anomaly_ratio_pct']:>6.1f} {paper_ar[name]:>10.1f}"
+        )
+    return "\n".join(rows)
+
+
+def test_table2_dataset_statistics(benchmark):
+    table = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    save_result("table2_datasets", table)
+    # Dimensions must match the paper exactly.
+    for name, spec in PROFILE_SPECS.items():
+        assert get_dataset(name, scale=SCALE).n_features == spec.dimension

@@ -1,0 +1,73 @@
+"""Table IV — model ablation study.
+
+Runs the seven TFMAE variants of the paper's Section V-C on the bench
+datasets:
+
+* ``w/o L_adv``  — plain contrastive objective, no adversarial term;
+* ``w/ L_radv``  — adversarial roles of P and F swapped;
+* ``w/o Fre``    — frequency view removed (reconstruction fallback);
+* ``w/o FD``     — frequency decoder removed;
+* ``w/o Tem``    — temporal view removed (reconstruction fallback);
+* ``w/o TE``     — temporal encoder removed;
+* ``w/o TD``     — temporal decoder removed.
+
+Expected shape: the full model leads on average; removing a whole view or
+the temporal decoder hurts most, matching the paper's Table IV.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro import TFMAE, evaluate_detector
+
+from _common import TABLE_DATASETS, bench_dataset, bench_tfmae_config, save_result
+
+VARIANTS: dict[str, dict] = {
+    "w/o L_adv": {"adversarial": False},
+    "w/ L_radv": {"reversed_adversarial": True},
+    "w/o Fre": {"use_frequency_branch": False},
+    "w/o FD": {"use_frequency_decoder": False},
+    "w/o Tem": {"use_temporal_branch": False},
+    "w/o TE": {"use_temporal_encoder": False},
+    "w/o TD": {"use_temporal_decoder": False},
+    "TFMAE": {},
+}
+
+_DATASET_FILTER = os.environ.get("REPRO_BENCH_DATASETS")
+
+
+def _datasets() -> list[str]:
+    if _DATASET_FILTER:
+        return [d for d in TABLE_DATASETS if d in set(_DATASET_FILTER.split(","))]
+    return TABLE_DATASETS
+
+
+def run_table4() -> str:
+    datasets = _datasets()
+    lines = [
+        "Table IV (model ablations)",
+        f"{'variant':<12}" + "".join(f" | {d:^20}" for d in datasets) + f" | {'Average':^20}",
+    ]
+    lines.append(f"{'':<12}" + (" | " + f"{'P':>6}{'R':>7}{'F1':>7}") * (len(datasets) + 1))
+    lines.append("-" * len(lines[-1]))
+    for variant, overrides in VARIANTS.items():
+        cells, triples = [], []
+        for dataset_name in datasets:
+            dataset = bench_dataset(dataset_name)
+            detector = TFMAE(bench_tfmae_config(dataset_name, **overrides))
+            result = evaluate_detector(detector, dataset)
+            p, r, f1 = result.metrics.as_percent()
+            triples.append((p, r, f1))
+            cells.append(f"{p:>6.2f}{r:>7.2f}{f1:>7.2f}")
+        avg = np.mean(triples, axis=0)
+        cells.append(f"{avg[0]:>6.2f}{avg[1]:>7.2f}{avg[2]:>7.2f}")
+        lines.append(f"{variant:<12} | " + " | ".join(cells))
+    return "\n".join(lines)
+
+
+def test_table4_model_ablation(benchmark):
+    table = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    save_result("table4_ablation", table)

@@ -1,0 +1,71 @@
+"""Table V — masking-strategy ablation.
+
+Runs the six masking variants of the paper's Section V-D:
+
+* ``w/o MT`` — no temporal masking;
+* ``w/ SMT`` — standard deviation instead of coefficient of variation;
+* ``w/ RMT`` — random temporal masking;
+* ``w/o MF`` — no frequency masking;
+* ``w/ HMF`` — mask high frequencies instead of low amplitudes;
+* ``w/ RMF`` — random frequency masking.
+
+Expected shape: the paper's CoV + amplitude combination leads on average;
+random masking underperforms anomaly-aware masking ("the key factor is
+not Masking but Masking Anomalies").
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro import TFMAE, evaluate_detector
+
+from _common import TABLE_DATASETS, bench_dataset, bench_tfmae_config, save_result
+
+VARIANTS: dict[str, dict] = {
+    "w/o MT": {"temporal_mask_strategy": "none"},
+    "w/ SMT": {"temporal_mask_strategy": "std"},
+    "w/ RMT": {"temporal_mask_strategy": "random"},
+    "w/o MF": {"frequency_mask_strategy": "none"},
+    "w/ HMF": {"frequency_mask_strategy": "high"},
+    "w/ RMF": {"frequency_mask_strategy": "random"},
+    "TFMAE": {},
+}
+
+_DATASET_FILTER = os.environ.get("REPRO_BENCH_DATASETS")
+
+
+def _datasets() -> list[str]:
+    if _DATASET_FILTER:
+        return [d for d in TABLE_DATASETS if d in set(_DATASET_FILTER.split(","))]
+    return TABLE_DATASETS
+
+
+def run_table5() -> str:
+    datasets = _datasets()
+    lines = [
+        "Table V (masking ablations)",
+        f"{'variant':<10}" + "".join(f" | {d:^20}" for d in datasets) + f" | {'Average':^20}",
+    ]
+    lines.append(f"{'':<10}" + (" | " + f"{'P':>6}{'R':>7}{'F1':>7}") * (len(datasets) + 1))
+    lines.append("-" * len(lines[-1]))
+    for variant, overrides in VARIANTS.items():
+        cells, triples = [], []
+        for dataset_name in datasets:
+            dataset = bench_dataset(dataset_name)
+            detector = TFMAE(bench_tfmae_config(dataset_name, **overrides))
+            result = evaluate_detector(detector, dataset)
+            p, r, f1 = result.metrics.as_percent()
+            triples.append((p, r, f1))
+            cells.append(f"{p:>6.2f}{r:>7.2f}{f1:>7.2f}")
+        avg = np.mean(triples, axis=0)
+        cells.append(f"{avg[0]:>6.2f}{avg[1]:>7.2f}{avg[2]:>7.2f}")
+        lines.append(f"{variant:<10} | " + " | ".join(cells))
+    return "\n".join(lines)
+
+
+def test_table5_masking_ablation(benchmark):
+    table = benchmark.pedantic(run_table5, rounds=1, iterations=1)
+    save_result("table5_masking", table)

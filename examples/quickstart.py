@@ -1,0 +1,66 @@
+"""Quickstart: detect anomalies in a univariate series with TFMAE.
+
+Runs the full pipeline on a small synthetic benchmark in under a minute
+on CPU: build a dataset, train the temporal-frequency masked autoencoder,
+calibrate the threshold on the validation split, and evaluate with the
+paper's point-adjustment protocol.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import TFMAE, TFMAEConfig, evaluate_detection, get_dataset
+
+
+def main() -> None:
+    # 1. A small realisation of the NIPS-TS-Global benchmark: a periodic
+    #    signal with 5% global point anomalies in the test split.
+    dataset = get_dataset("NIPS-TS-Global", seed=0, scale=0.05).normalised()
+    print("dataset:", dataset.summary())
+
+    # 2. Configure TFMAE.  The paper's full-scale settings are the
+    #    defaults (d_model=128, 3 layers, 1 epoch); this example shrinks
+    #    the model and trains longer because the data is ~5% of full size.
+    config = TFMAEConfig(
+        window_size=100,
+        d_model=32,
+        num_layers=2,
+        num_heads=4,
+        temporal_mask_ratio=55.0,    # r^(T): mask the most volatile 55%
+        frequency_mask_ratio=30.0,   # r^(F): mask the weakest 30% of bins
+        anomaly_ratio=2.5,           # r: flag the top 2.5% as anomalies
+        epochs=6,
+        batch_size=16,
+        learning_rate=1e-3,
+    )
+
+    # 3. Train (unsupervised) and calibrate the threshold on validation.
+    detector = TFMAE(config)
+    detector.fit(dataset.train, dataset.validation)
+    print(f"trained: {detector.training_log.summary()}")
+    print(f"threshold delta = {detector.threshold_:.4f}")
+
+    # 4. Score and detect.
+    scores = detector.score(dataset.test)
+    predictions = detector.predict(dataset.test)
+    labels = dataset.test_labels.astype(bool)
+    print(f"mean score  normal={scores[~labels].mean():.3f}  "
+          f"anomalous={scores[labels].mean():.3f}")
+
+    # 5. Evaluate with point adjustment (the paper's protocol).
+    metrics = evaluate_detection(predictions, dataset.test_labels)
+    print("detection:", metrics)
+
+    # 6. Inspect the top alarms.
+    top = np.argsort(scores)[-5:][::-1]
+    print("top-5 alarms (t, score, true label):")
+    for t in top:
+        print(f"  t={t:<6d} score={scores[t]:.3f} label={dataset.test_labels[t]}")
+
+
+if __name__ == "__main__":
+    main()

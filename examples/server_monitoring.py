@@ -1,0 +1,74 @@
+"""Server-fleet monitoring: multivariate detection on an SMD-style workload.
+
+The scenario from the paper's introduction — observability data from
+internet server machines (the SMD benchmark): dozens of correlated
+channels (request rates, CPU-like periodic load, slowly drifting
+baselines) where anomalies hit several channels at once.
+
+This example shows the *operational* loop a platform team would run:
+
+1. train TFMAE on last month's (unlabeled, lightly contaminated) metrics;
+2. calibrate the alert threshold so the expected alert budget is ~2% of
+   observations;
+3. stream the new day through the detector and group alarm points into
+   incidents;
+4. compare against a classical baseline (Isolation Forest) on the same
+   budget.
+
+Run:
+    python examples/server_monitoring.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import TFMAE, evaluate_detection, get_dataset, preset_for
+from repro.baselines import IsolationForest
+from repro.core import TFMAEConfig
+from repro.metrics import anomaly_segments, debounce_alarms
+
+
+def main() -> None:
+    dataset = get_dataset("SMD", seed=0, scale=0.01).normalised()
+    print("server fleet dataset:", dataset.summary())
+
+    # TFMAE with the paper's SMD masking ratios (Fig. 6: r_T=5%, r_F=20%),
+    # shrunk to CPU scale, with a ~2% alert budget.
+    base = TFMAEConfig(window_size=100, d_model=32, num_layers=2, num_heads=4,
+                       batch_size=16, epochs=6, learning_rate=1e-3)
+    config = preset_for("SMD", base=base, anomaly_ratio=2.0)
+    detector = TFMAE(config)
+    detector.fit(dataset.train, dataset.validation)
+
+    alarms = detector.predict(dataset.test)
+    incidents = anomaly_segments(debounce_alarms(alarms, merge_gap=20, min_length=2))
+    metrics = evaluate_detection(alarms, dataset.test_labels)
+    true_incidents = anomaly_segments(dataset.test_labels)
+
+    caught = sum(
+        1 for start, stop in true_incidents if alarms[start:stop].any()
+    )
+    genuine = [
+        (start, stop) for start, stop in incidents
+        if dataset.test_labels[start:stop].any()
+    ]
+    print(f"\nTFMAE: {metrics}")
+    print(f"  {caught}/{len(true_incidents)} true events caught; "
+          f"{len(genuine)}/{len(incidents)} raised incidents are genuine")
+    for start, stop in genuine[:5]:
+        covered = dataset.test_labels[start:stop].mean()
+        print(f"  incident t=[{start}, {stop})  true-anomaly overlap={covered:.0%}")
+
+    # Same alert budget for the classical baseline.
+    forest = IsolationForest(anomaly_ratio=2.0, seed=0)
+    forest.fit(dataset.train, dataset.validation)
+    forest_metrics = evaluate_detection(forest.predict(dataset.test), dataset.test_labels)
+    print(f"\nIsolationForest (same budget): {forest_metrics}")
+
+    print("\nTFMAE exploits temporal + cross-channel structure that the "
+          "pointwise forest cannot, at the same alert budget.")
+
+
+if __name__ == "__main__":
+    main()

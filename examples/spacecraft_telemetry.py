@@ -1,0 +1,69 @@
+"""Spacecraft telemetry with distribution shift: the SMAP scenario.
+
+NASA's SMAP benchmark is the paper's canonical example of *time series
+distribution shift* (Fig. 1 right, Fig. 9): the test-period telemetry
+drifts away from the training regime, so a reconstruction model's anomaly
+scores inflate on perfectly normal data and its validation-calibrated
+threshold drowns operators in false alarms.
+
+This example measures that effect directly on the drifting SMAP
+surrogate: it trains TFMAE (contrastive criterion) and a frozen-backbone
+reconstruction model (GPT4TS) with the same threshold protocol, then
+reports
+
+* the validation-vs-test score distribution gap (KS distance), and
+* the false-alarm rate on *normal* test observations.
+
+Run:
+    python examples/spacecraft_telemetry.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import TFMAE, evaluate_detection, get_dataset
+from repro.baselines import GPT4TS
+from repro.core import TFMAEConfig, preset_for
+from repro.metrics import ks_distance
+
+
+def report(name: str, detector, dataset) -> None:
+    normal = dataset.test_labels == 0
+    val_scores = detector.score(dataset.validation)
+    test_scores = detector.score(dataset.test)
+
+    shift_gap = ks_distance(val_scores, test_scores[normal])
+    alarms = detector.predict(dataset.test)
+    false_alarm_rate = alarms[normal].mean()
+    metrics = evaluate_detection(alarms, dataset.test_labels)
+
+    print(f"\n{name}")
+    print(f"  val->test score shift (KS on normal data): {shift_gap:.3f}")
+    print(f"  false alarms on normal telemetry:          {false_alarm_rate:.2%}")
+    print(f"  detection with point adjustment:           {metrics}")
+
+
+def main() -> None:
+    dataset = get_dataset("SMAP", seed=0, scale=0.01).normalised()
+    print("SMAP telemetry:", dataset.summary())
+    print("(test regime drifts away from training — the Fig. 9 setup)")
+
+    base = TFMAEConfig(window_size=100, d_model=32, num_layers=2, num_heads=4,
+                       batch_size=16, epochs=6, learning_rate=1e-3)
+    tfmae = TFMAE(preset_for("SMAP", base=base, anomaly_ratio=6.0))
+    tfmae.fit(dataset.train, dataset.validation)
+    report("TFMAE (contrastive criterion)", tfmae, dataset)
+
+    recon = GPT4TS(window_size=100, epochs=6, batch_size=16,
+                   anomaly_ratio=6.0, seed=0)
+    recon.fit(dataset.train, dataset.validation)
+    report("GPT4TS (reconstruction criterion)", recon, dataset)
+
+    print("\nThe contrastive criterion compares two views of the SAME input, "
+          "so regime drift moves both views together and the threshold "
+          "transfers; reconstruction error grows on any unseen regime.")
+
+
+if __name__ == "__main__":
+    main()

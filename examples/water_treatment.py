@@ -1,0 +1,62 @@
+"""Critical-infrastructure attack detection: the SWaT scenario.
+
+SWaT (Secure Water Treatment) records a plant under staged cyber-physical
+attacks — long, multi-channel pattern anomalies (a pump forced on, a tank
+drained slowly) rather than single-point glitches.  This is where the
+paper's *amplitude-based frequency masking* earns its keep: attacks are
+short-lived patterns with weak spectral support, exactly what the
+frequency mask removes so the model reconstructs "what the plant should
+be doing".
+
+This example detects attacks with TFMAE and shows per-masking-strategy
+impact: the paper's amplitude criterion vs. masking high frequencies vs.
+no frequency masking (Table V's SWaT column in miniature).
+
+Run:
+    python examples/water_treatment.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import TFMAE, evaluate_detection, get_dataset
+from repro.core import TFMAEConfig, preset_for
+from repro.metrics import anomaly_segments
+
+
+def run_variant(label: str, dataset, **overrides) -> None:
+    base = TFMAEConfig(window_size=100, d_model=32, num_layers=2, num_heads=4,
+                       batch_size=16, epochs=6, learning_rate=1e-3)
+    config = preset_for("SWaT", base=base, anomaly_ratio=15.0, **overrides)
+    detector = TFMAE(config)
+    detector.fit(dataset.train, dataset.validation)
+    alarms = detector.predict(dataset.test)
+    metrics = evaluate_detection(alarms, dataset.test_labels)
+
+    attacks = anomaly_segments(dataset.test_labels)
+    caught = sum(1 for start, stop in attacks if alarms[start:stop].any())
+    print(f"  {label:<28} {metrics}   attacks caught: {caught}/{len(attacks)}")
+
+
+def main() -> None:
+    dataset = get_dataset("SWaT", seed=0, scale=0.01).normalised()
+    print("water-treatment dataset:", dataset.summary())
+    attacks = anomaly_segments(dataset.test_labels)
+    lengths = [stop - start for start, stop in attacks]
+    print(f"{len(attacks)} staged attacks, duration {min(lengths)}-{max(lengths)} steps\n")
+
+    print("frequency-masking strategies (Table V, SWaT column):")
+    run_variant("amplitude (paper)", dataset)
+    run_variant("high-frequency (w/ HMF)", dataset, frequency_mask_strategy="high")
+    run_variant("none (w/o MF)", dataset, frequency_mask_strategy="none")
+
+    print("\nMasking *low-amplitude* bins removes short-lived attack patterns "
+          "while preserving the plant's strong operating cycles; masking high "
+          "frequencies throws away legitimate fast dynamics instead.  At this "
+          "miniature scale the variants can tie — the full sweep lives in "
+          "benchmarks/bench_table5_masking.py (Table V).")
+
+
+if __name__ == "__main__":
+    main()

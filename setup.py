@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` requires bdist_wheel; this shim
+lets `python setup.py develop` provide the editable install instead.
+"""
+from setuptools import setup
+
+setup()

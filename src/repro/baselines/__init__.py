@@ -1,0 +1,73 @@
+"""The 14 baselines of the paper's Table III, grouped as in Section V-A.3.
+
+==============  =============================================
+Category        Methods
+==============  =============================================
+Density         :class:`LOF`, :class:`DAGMM`
+Tree            :class:`IsolationForest`
+Clustering      :class:`DSVDD`, :class:`THOC`
+Reconstruction  :class:`OmniAnomaly`, :class:`TimesNet`, :class:`GPT4TS`
+Adversarial     :class:`USAD`, :class:`BeatGAN`, :class:`DAEMON`, :class:`TranAD`
+Contrastive     :class:`AnomalyTransformer`, :class:`DCdetector`
+==============  =============================================
+
+:data:`BASELINE_REGISTRY` maps the names used in the paper's tables to
+constructors accepting ``(anomaly_ratio=..., seed=...)`` keyword
+arguments.
+"""
+
+from typing import Callable
+
+from ..detector import BaseDetector
+from .anomaly_transformer import AnomalyTransformer
+from .beatgan import BeatGAN
+from .classical import LOF, IsolationForest
+from .common import WindowModelDetector
+from .daemon import DAEMON
+from .dagmm import DAGMM, GaussianMixture
+from .dcdetector import DCdetector
+from .dsvdd import DSVDD
+from .gpt4ts import GPT4TS
+from .omni import OmniAnomaly
+from .thoc import THOC
+from .timesnet import TimesNet, dominant_periods
+from .tranad import TranAD
+from .usad import USAD
+
+__all__ = [
+    "WindowModelDetector",
+    "LOF",
+    "IsolationForest",
+    "DSVDD",
+    "DAGMM",
+    "GaussianMixture",
+    "THOC",
+    "OmniAnomaly",
+    "TimesNet",
+    "dominant_periods",
+    "GPT4TS",
+    "USAD",
+    "BeatGAN",
+    "DAEMON",
+    "TranAD",
+    "AnomalyTransformer",
+    "DCdetector",
+    "BASELINE_REGISTRY",
+]
+
+BASELINE_REGISTRY: dict[str, Callable[..., BaseDetector]] = {
+    "LOF": LOF,
+    "IForest": IsolationForest,
+    "DSVDD": DSVDD,
+    "DAGMM": DAGMM,
+    "THOC": THOC,
+    "OmniAno": OmniAnomaly,
+    "TimesNet": TimesNet,
+    "GPT4TS": GPT4TS,
+    "USAD": USAD,
+    "BeatGAN": BeatGAN,
+    "DAEMON": DAEMON,
+    "TranAD": TranAD,
+    "AnoTran": AnomalyTransformer,
+    "DCdetector": DCdetector,
+}

@@ -1,0 +1,140 @@
+"""Anomaly Transformer baseline (Xu et al., ICLR 2022) — "AnoTran".
+
+Each attention layer learns two association structures over positions:
+
+* the **series association** — ordinary self-attention weights, and
+* the **prior association** — a learnable Gaussian kernel over temporal
+  distance (nearby positions associate more).
+
+Anomalies associate mostly with adjacent positions, so their series
+association collapses toward the prior; the **association discrepancy**
+(symmetric KL between the two row distributions) is therefore *small* at
+anomalies.  Training is a minimax game on that discrepancy plus a
+reconstruction loss; the anomaly score multiplies the reconstruction
+error by ``softmax(-discrepancy)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, Module, Parameter, Tensor, no_grad
+from ..nn import functional as F
+from ..nn.attention import MultiHeadSelfAttention
+from ..nn.layers import GELU, LayerNorm, Sequential
+from ..nn.transformer import sinusoidal_positional_encoding
+from .common import WindowModelDetector
+
+__all__ = ["AnomalyTransformer"]
+
+
+def _row_kl(p: Tensor, q: Tensor) -> Tensor:
+    """Mean KL over attention rows; inputs are row-stochastic (B, T, T)."""
+    eps = 1e-8
+    ratio = (p + eps).log() - (q + eps).log()
+    return (p * ratio).sum(axis=-1)  # (B, T)
+
+
+class _AnomalyAttentionLayer(Module):
+    def __init__(self, dim: int, heads: int, window: int, rng: np.random.Generator):
+        super().__init__()
+        self.attention = MultiHeadSelfAttention(dim, heads, rng, keep_attention_graph=True)
+        self.norm1 = LayerNorm(dim)
+        self.norm2 = LayerNorm(dim)
+        self.ffn = Sequential(Linear(dim, 4 * dim, rng), GELU(), Linear(4 * dim, dim, rng))
+        # Learnable per-position log-scale of the prior Gaussian kernel.
+        self.log_sigma = Parameter(np.zeros(window), name="log_sigma")
+        # |i - j| distance matrix, fixed.
+        idx = np.arange(window)
+        self._distances = np.abs(idx[:, None] - idx[None, :]).astype(np.float64)
+
+    def forward(self, x: Tensor) -> tuple[Tensor, Tensor, Tensor]:
+        """Return (output, series_assoc (B,T,T), prior_assoc (B,T,T))."""
+        attended = self.attention(x)
+        out = self.norm1(x + attended)
+        out = self.norm2(out + self.ffn(out))
+
+        # Series association: head-averaged attention weights, kept on the
+        # autograd graph so the maximise phase can push them away from the
+        # prior.
+        series = self.attention.last_attention_tensor.mean(axis=1)
+        sigma = self.log_sigma.exp().reshape(-1, 1)  # (T, 1)
+        dist = Tensor(self._distances)
+        gauss = (-(dist * dist) / (sigma * sigma * 2.0)).exp() + 1e-8
+        prior = gauss / gauss.sum(axis=-1, keepdims=True)  # (T, T)
+        batch = x.shape[0]
+        prior_b = prior.reshape(1, *prior.shape) * Tensor(np.ones((batch, 1, 1)))
+        return out, series, prior_b
+
+
+class _AnoTranModel(Module):
+    def __init__(self, n_features: int, dim: int, layers: int, heads: int,
+                 window: int, rng: np.random.Generator, k: float = 3.0):
+        super().__init__()
+        self.k = k
+        self.dim = dim
+        self.embed = Linear(n_features, dim, rng)
+        self.num_layers = layers
+        for i in range(layers):
+            setattr(self, f"layer{i}", _AnomalyAttentionLayer(dim, heads, window, rng))
+        self.head = Linear(dim, n_features, rng)
+        self._pe = sinusoidal_positional_encoding(window, dim)
+
+    def _forward(self, windows: np.ndarray) -> tuple[Tensor, list[tuple[Tensor, Tensor]]]:
+        x = self.embed(Tensor(windows)) + Tensor(self._pe)
+        associations = []
+        for i in range(self.num_layers):
+            x, series, prior = getattr(self, f"layer{i}")(x)
+            associations.append((series, prior))
+        return self.head(x), associations
+
+    def _discrepancy(self, associations, detach_prior: bool, detach_series: bool) -> Tensor:
+        """Mean symmetric KL between prior and series rows, per position."""
+        total = None
+        for series, prior in associations:
+            p = prior.detach() if detach_prior else prior
+            s = series.detach() if detach_series else series
+            term = _row_kl(p, s) + _row_kl(s, p)  # (B, T)
+            total = term if total is None else total + term
+        return total * (1.0 / len(associations))
+
+    def loss(self, windows: np.ndarray) -> Tensor:
+        reconstruction, associations = self._forward(windows)
+        recon = F.mse_loss(reconstruction, Tensor(windows))
+        # Minimax association discrepancy, following the official two-phase
+        # objective combined with stop-gradients: the prior (sigma) chases
+        # the frozen series association while the series association is
+        # pushed to enlarge the discrepancy against the frozen prior.
+        prior_chases = self._discrepancy(associations, detach_prior=False, detach_series=True).mean()
+        series_enlarges = self._discrepancy(associations, detach_prior=True, detach_series=False).mean()
+        return recon + self.k * prior_chases - self.k * series_enlarges
+
+    def score_windows(self, windows: np.ndarray) -> np.ndarray:
+        with no_grad():
+            reconstruction, associations = self._forward(windows)
+            discrepancy = self._discrepancy(associations, True, True)
+        error = ((reconstruction.data - windows) ** 2).mean(axis=-1)  # (B, T)
+        weight_logits = -discrepancy.data
+        weight_logits -= weight_logits.max(axis=1, keepdims=True)
+        weights = np.exp(weight_logits)
+        weights /= weights.sum(axis=1, keepdims=True)
+        return weights * error
+
+
+class AnomalyTransformer(WindowModelDetector):
+    """Association-discrepancy Transformer detector."""
+
+    name = "AnoTran"
+
+    def __init__(self, dim: int = 32, layers: int = 2, heads: int = 4, k: float = 3.0,
+                 epochs: int = 2, learning_rate: float = 1e-3, **kwargs):
+        super().__init__(epochs=epochs, learning_rate=learning_rate, **kwargs)
+        self.dim = dim
+        self.layers = layers
+        self.heads = heads
+        self.k = k
+
+    def build_model(self, n_features: int) -> _AnoTranModel:
+        rng = np.random.default_rng(self.seed)
+        return _AnoTranModel(n_features, self.dim, self.layers, self.heads,
+                             self.window_size, rng, self.k)

@@ -1,0 +1,94 @@
+"""BeatGAN baseline (Zhou et al., IJCAI 2019).
+
+An adversarially regularised convolutional autoencoder: the generator
+reconstructs windows with 1-D convolutions; a convolutional discriminator
+distinguishes real windows from reconstructions.  The generator minimises
+reconstruction error plus a feature-matching term on the discriminator's
+hidden features; the score is the per-observation reconstruction error.
+
+The alternating GAN updates are realised as one combined loss with
+selective parameter freezing (see :func:`repro.nn.module.frozen`), which
+yields the same gradients as two optimiser phases because the generator
+and discriminator parameter sets are disjoint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Conv1d, GELU, Linear, Module, Sequential, Tensor, no_grad
+from ..nn import functional as F
+from ..nn.module import frozen
+from .common import WindowModelDetector
+
+__all__ = ["BeatGAN"]
+
+
+class _Discriminator(Module):
+    def __init__(self, n_features: int, dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.conv1 = Conv1d(n_features, dim, 5, rng, padding="same")
+        self.conv2 = Conv1d(dim, dim, 5, rng, padding="same")
+        self.head = Linear(dim, 1, rng)
+
+    def features(self, x: Tensor) -> Tensor:
+        return F.gelu(self.conv2(F.gelu(self.conv1(x))))
+
+    def forward(self, x: Tensor) -> Tensor:
+        pooled = self.features(x).mean(axis=1)  # (B, dim)
+        return self.head(pooled).sigmoid()      # (B, 1) real-vs-fake prob
+
+
+class _BeatGANModel(Module):
+    def __init__(self, n_features: int, dim: int, rng: np.random.Generator,
+                 adversarial_weight: float = 0.1):
+        super().__init__()
+        self.adversarial_weight = adversarial_weight
+        self.generator = Sequential(
+            Conv1d(n_features, dim, 5, rng, padding="same"), GELU(),
+            Conv1d(dim, dim, 5, rng, padding="same"), GELU(),
+            Conv1d(dim, n_features, 5, rng, padding="same"),
+        )
+        self.discriminator = _Discriminator(n_features, dim, rng)
+
+    def loss(self, windows: np.ndarray) -> Tensor:
+        x = Tensor(windows)
+        reconstruction = self.generator(x)
+
+        # Generator: reconstruction + feature matching through a frozen D.
+        with frozen(self.discriminator):
+            feature_match = F.mse_loss(
+                self.discriminator.features(reconstruction),
+                self.discriminator.features(x).detach(),
+            )
+        g_loss = F.mse_loss(reconstruction, x) + self.adversarial_weight * feature_match
+
+        # Discriminator: real windows -> 1, reconstructions (detached) -> 0.
+        real_prob = self.discriminator(x)
+        fake_prob = self.discriminator(reconstruction.detach())
+        ones = Tensor(np.ones(real_prob.shape))
+        zeros = Tensor(np.zeros(fake_prob.shape))
+        d_loss = F.binary_cross_entropy(real_prob, ones) + F.binary_cross_entropy(fake_prob, zeros)
+
+        return g_loss + d_loss
+
+    def score_windows(self, windows: np.ndarray) -> np.ndarray:
+        with no_grad():
+            error = (self.generator(Tensor(windows)) - Tensor(windows)) ** 2
+        return error.data.mean(axis=-1)
+
+
+class BeatGAN(WindowModelDetector):
+    """Adversarially regularised convolutional reconstruction detector."""
+
+    name = "BeatGAN"
+
+    def __init__(self, dim: int = 32, adversarial_weight: float = 0.1,
+                 epochs: int = 2, learning_rate: float = 1e-3, **kwargs):
+        super().__init__(epochs=epochs, learning_rate=learning_rate, **kwargs)
+        self.dim = dim
+        self.adversarial_weight = adversarial_weight
+
+    def build_model(self, n_features: int) -> _BeatGANModel:
+        rng = np.random.default_rng(self.seed)
+        return _BeatGANModel(n_features, self.dim, rng, self.adversarial_weight)

@@ -1,0 +1,180 @@
+"""Classical baselines: LOF (Breunig et al., 2000) and Isolation Forest
+(Liu et al., 2008), implemented from scratch on numpy/scipy.
+
+Both operate on raw observation vectors — the density/isolation structure
+of individual points — which is exactly why the paper uses them as the
+"no temporal modelling" reference class in Table III.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from ..detector import BaseDetector
+
+__all__ = ["LOF", "IsolationForest"]
+
+
+class LOF(BaseDetector):
+    """Local Outlier Factor.
+
+    Scores each observation by the ratio of its neighbours' local
+    reachability density to its own, using the training split as the
+    reference population.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Neighbourhood size ``k``.
+    max_reference:
+        Training observations are subsampled to this many reference points
+        to bound the k-NN index size on long series.
+    """
+
+    name = "LOF"
+
+    def __init__(self, n_neighbors: int = 20, max_reference: int = 5000,
+                 anomaly_ratio: float = 0.9, seed: int = 0):
+        super().__init__(anomaly_ratio=anomaly_ratio)
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        self.n_neighbors = n_neighbors
+        self.max_reference = max_reference
+        self.seed = seed
+        self._tree: cKDTree | None = None
+        self._reference_lrd: np.ndarray | None = None
+        self._k_distance: np.ndarray | None = None
+
+    def _fit(self, train: np.ndarray) -> None:
+        rng = np.random.default_rng(self.seed)
+        reference = train
+        if train.shape[0] > self.max_reference:
+            idx = rng.choice(train.shape[0], size=self.max_reference, replace=False)
+            reference = train[idx]
+        self._tree = cKDTree(reference)
+        k = min(self.n_neighbors + 1, reference.shape[0])
+        # Neighbours of reference points among themselves (first hit is the
+        # point itself, hence k+1 and dropping column 0).
+        distances, neighbors = self._tree.query(reference, k=k)
+        distances, neighbors = distances[:, 1:], neighbors[:, 1:]
+        self._k_distance = distances[:, -1]
+        reach = np.maximum(distances, self._k_distance[neighbors])
+        self._reference_lrd = 1.0 / (reach.mean(axis=1) + 1e-12)
+
+    def score(self, series: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        assert self._tree is not None
+        k = min(self.n_neighbors, self._tree.n)
+        distances, neighbors = self._tree.query(series, k=k)
+        if k == 1:
+            distances = distances[:, None]
+            neighbors = neighbors[:, None]
+        reach = np.maximum(distances, self._k_distance[neighbors])
+        lrd = 1.0 / (reach.mean(axis=1) + 1e-12)
+        return self._reference_lrd[neighbors].mean(axis=1) / (lrd + 1e-12)
+
+
+class _IsolationTree:
+    """One randomised isolation tree, stored as flat arrays."""
+
+    __slots__ = ("feature", "threshold", "left", "right", "size", "_next")
+
+    def __init__(self, data: np.ndarray, height_limit: int, rng: np.random.Generator):
+        # Pre-allocate generously; an isolation tree on n points has < 2n nodes.
+        capacity = 2 * data.shape[0] + 1
+        self.feature = np.full(capacity, -1, dtype=np.int64)
+        self.threshold = np.zeros(capacity)
+        self.left = np.full(capacity, -1, dtype=np.int64)
+        self.right = np.full(capacity, -1, dtype=np.int64)
+        self.size = np.zeros(capacity, dtype=np.int64)
+        self._next = 0
+        self._build(data, 0, height_limit, rng)
+
+    def _new_node(self) -> int:
+        node = self._next
+        self._next += 1
+        return node
+
+    def _build(self, data: np.ndarray, depth: int, limit: int, rng: np.random.Generator) -> int:
+        node = self._new_node()
+        self.size[node] = data.shape[0]
+        if depth >= limit or data.shape[0] <= 1:
+            return node
+        spans = data.max(axis=0) - data.min(axis=0)
+        valid = np.flatnonzero(spans > 0)
+        if valid.size == 0:
+            return node
+        feature = int(rng.choice(valid))
+        lo, hi = data[:, feature].min(), data[:, feature].max()
+        threshold = float(rng.uniform(lo, hi))
+        mask = data[:, feature] < threshold
+        self.feature[node] = feature
+        self.threshold[node] = threshold
+        self.left[node] = self._build(data[mask], depth + 1, limit, rng)
+        self.right[node] = self._build(data[~mask], depth + 1, limit, rng)
+        return node
+
+    def path_length(self, points: np.ndarray) -> np.ndarray:
+        """Vectorised root-to-leaf depth plus the c(size) leaf adjustment."""
+        n = points.shape[0]
+        node = np.zeros(n, dtype=np.int64)
+        depth = np.zeros(n)
+        active = np.ones(n, dtype=bool)
+        while active.any():
+            current = node[active]
+            internal = self.feature[current] >= 0
+            done_idx = np.flatnonzero(active)[~internal]
+            if done_idx.size:
+                leaf = node[done_idx]
+                depth[done_idx] += _average_path_length(self.size[leaf])
+                active[done_idx] = False
+            go_idx = np.flatnonzero(active)
+            if go_idx.size == 0:
+                break
+            cur = node[go_idx]
+            feat = self.feature[cur]
+            goes_left = points[go_idx, feat] < self.threshold[cur]
+            node[go_idx] = np.where(goes_left, self.left[cur], self.right[cur])
+            depth[go_idx] += 1.0
+        return depth
+
+
+def _average_path_length(size: np.ndarray | int) -> np.ndarray:
+    """Expected path length c(n) of an unsuccessful BST search."""
+    size = np.asarray(size, dtype=np.float64)
+    out = np.zeros_like(size)
+    big = size > 2
+    out[big] = 2.0 * (np.log(size[big] - 1.0) + np.euler_gamma) - 2.0 * (size[big] - 1.0) / size[big]
+    out[size == 2] = 1.0
+    return out
+
+
+class IsolationForest(BaseDetector):
+    """Isolation Forest: anomalies are isolated in few random splits."""
+
+    name = "IForest"
+
+    def __init__(self, n_trees: int = 100, subsample: int = 256,
+                 anomaly_ratio: float = 0.9, seed: int = 0):
+        super().__init__(anomaly_ratio=anomaly_ratio)
+        self.n_trees = n_trees
+        self.subsample = subsample
+        self.seed = seed
+        self._trees: list[_IsolationTree] = []
+        self._sample_size = 0
+
+    def _fit(self, train: np.ndarray) -> None:
+        rng = np.random.default_rng(self.seed)
+        self._sample_size = min(self.subsample, train.shape[0])
+        height_limit = int(np.ceil(np.log2(max(2, self._sample_size))))
+        self._trees = []
+        for _ in range(self.n_trees):
+            idx = rng.choice(train.shape[0], size=self._sample_size, replace=False)
+            self._trees.append(_IsolationTree(train[idx], height_limit, rng))
+
+    def score(self, series: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        depths = np.mean([tree.path_length(series) for tree in self._trees], axis=0)
+        c = float(_average_path_length(np.array([self._sample_size]))[0]) or 1.0
+        return np.power(2.0, -depths / c)

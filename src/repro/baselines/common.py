@@ -1,0 +1,126 @@
+"""Shared scaffolding for the neural baselines.
+
+All deep baselines in the paper's Table III consume fixed-length windows
+(input length 100, the fair-comparison protocol) and emit one score per
+observation.  :class:`WindowModelDetector` factors out that plumbing:
+subclasses provide a :class:`~repro.nn.Module` with
+
+* ``loss(batch) -> Tensor`` — training objective on ``(B, T, N)`` windows,
+* ``score_windows(batch) -> ndarray`` — per-position scores ``(B, T)``,
+
+and inherit windowed fitting, Adam optimisation, threshold calibration and
+series scoring.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from ..datasets.windows import non_overlapping_windows, score_series
+from ..detector import BaseDetector
+from ..nn.optim import Adam
+
+__all__ = ["WindowScoringModel", "WindowModelDetector"]
+
+
+class WindowScoringModel(Protocol):
+    """Structural type for the models driven by :class:`WindowModelDetector`."""
+
+    def loss(self, windows: np.ndarray): ...
+    def score_windows(self, windows: np.ndarray) -> np.ndarray: ...
+    def parameters(self): ...
+    def train(self, mode: bool = True): ...
+    def eval(self): ...
+
+
+class WindowModelDetector(BaseDetector):
+    """Detector that trains a window model with Adam and scores serieses.
+
+    Parameters
+    ----------
+    window_size:
+        Input window length (paper protocol: 100).
+    epochs, batch_size, learning_rate:
+        Optimisation schedule; baselines keep the paper's Adam defaults
+        unless their original work demands otherwise.
+    """
+
+    def __init__(
+        self,
+        window_size: int = 100,
+        epochs: int = 1,
+        batch_size: int = 64,
+        learning_rate: float = 1e-4,
+        anomaly_ratio: float = 0.9,
+        grad_clip: float | None = 5.0,
+        seed: int = 0,
+    ):
+        super().__init__(anomaly_ratio=anomaly_ratio)
+        self.window_size = window_size
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.grad_clip = grad_clip
+        self.seed = seed
+        self.model: WindowScoringModel | None = None
+        self.loss_history: list[float] = []
+
+    # ------------------------------------------------------------------
+    # subclass hook
+    # ------------------------------------------------------------------
+    def build_model(self, n_features: int) -> WindowScoringModel:
+        """Construct the underlying model; called once at fit time."""
+        raise NotImplementedError
+
+    def on_model_built(self, model: WindowScoringModel, train: np.ndarray) -> None:
+        """Optional hook between model construction and training.
+
+        Used by methods that need data-dependent initialisation (DSVDD's
+        hypersphere centre) or post-hoc fitting stages.
+        """
+
+    def after_training(self, model: WindowScoringModel, train: np.ndarray) -> None:
+        """Optional hook after gradient training (e.g. DAGMM's GMM fit)."""
+
+    def on_epoch_end(self, model: WindowScoringModel, epoch: int) -> None:
+        """Optional hook after each epoch (e.g. USAD's phase schedule)."""
+
+    # ------------------------------------------------------------------
+    # BaseDetector implementation
+    # ------------------------------------------------------------------
+    def _fit(self, train: np.ndarray) -> None:
+        self.model = self.build_model(train.shape[1])
+        self.on_model_built(self.model, train)
+        windows = non_overlapping_windows(train, self.window_size)
+        if windows.shape[0] == 0:
+            raise ValueError(
+                f"training series of length {train.shape[0]} is shorter than "
+                f"window_size={self.window_size}"
+            )
+        optimizer = Adam(self.model.parameters(), lr=self.learning_rate, grad_clip=self.grad_clip)
+        rng = np.random.default_rng(self.seed)
+        self.model.train()
+        for epoch in range(self.epochs):
+            order = rng.permutation(windows.shape[0])
+            for start in range(0, len(order), self.batch_size):
+                batch = windows[order[start : start + self.batch_size]]
+                loss = self.model.loss(batch)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                self.loss_history.append(loss.item())
+            self.on_epoch_end(self.model, epoch)
+        self.model.eval()
+        self.after_training(self.model, train)
+
+    def score(self, series: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        assert self.model is not None
+        return score_series(
+            series,
+            size=self.window_size,
+            score_fn=self.model.score_windows,
+            batch_size=self.batch_size,
+        )

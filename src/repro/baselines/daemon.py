@@ -1,0 +1,104 @@
+"""DAEMON baseline (Chen et al., ICDE 2021).
+
+Adversarial autoencoder with **two** discriminators: one constrains the
+latent code to match a standard-normal prior (making the code space
+well-behaved), the other constrains reconstructions to match the data
+distribution.  The anomaly score is the per-observation reconstruction
+error of the adversarially trained autoencoder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Conv1d, GELU, Linear, Module, Sequential, Tensor, no_grad
+from ..nn import functional as F
+from ..nn.module import frozen
+from .common import WindowModelDetector
+
+__all__ = ["DAEMON"]
+
+
+class _MLPDiscriminator(Module):
+    """Probability that a (pooled) vector comes from the real population."""
+
+    def __init__(self, in_dim: int, hidden: int, rng: np.random.Generator):
+        super().__init__()
+        self.net = Sequential(
+            Linear(in_dim, hidden, rng), GELU(), Linear(hidden, 1, rng)
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.net(x).sigmoid()
+
+
+class _DAEMONModel(Module):
+    def __init__(self, n_features: int, dim: int, latent: int,
+                 rng: np.random.Generator, adversarial_weight: float = 0.1):
+        super().__init__()
+        self.latent = latent
+        self.adversarial_weight = adversarial_weight
+        self.rng = rng
+        self.encoder = Sequential(
+            Conv1d(n_features, dim, 5, rng, padding="same"), GELU(),
+            Conv1d(dim, latent, 5, rng, padding="same"),
+        )
+        self.decoder = Sequential(
+            Conv1d(latent, dim, 5, rng, padding="same"), GELU(),
+            Conv1d(dim, n_features, 5, rng, padding="same"),
+        )
+        self.latent_disc = _MLPDiscriminator(latent, dim, rng)
+        self.recon_disc = _MLPDiscriminator(n_features, dim, rng)
+
+    def loss(self, windows: np.ndarray) -> Tensor:
+        x = Tensor(windows)
+        z = self.encoder(x)                      # (B, T, latent)
+        reconstruction = self.decoder(z)
+
+        recon_loss = F.mse_loss(reconstruction, x)
+
+        # Generator terms through frozen discriminators: the code should
+        # look like the prior; the reconstruction should look real.
+        ones_z = Tensor(np.ones((z.shape[0], 1)))
+        with frozen(self.latent_disc):
+            z_fool = F.binary_cross_entropy(self.latent_disc(z.mean(axis=1)), ones_z)
+        with frozen(self.recon_disc):
+            r_fool = F.binary_cross_entropy(self.recon_disc(reconstruction.mean(axis=1)), ones_z)
+        g_loss = recon_loss + self.adversarial_weight * (z_fool + r_fool)
+
+        # Discriminator terms on detached samples.
+        prior = Tensor(self.rng.standard_normal((z.shape[0], self.latent)))
+        zeros = Tensor(np.zeros((z.shape[0], 1)))
+        ones = Tensor(np.ones((z.shape[0], 1)))
+        d_latent = (
+            F.binary_cross_entropy(self.latent_disc(prior), ones)
+            + F.binary_cross_entropy(self.latent_disc(z.detach().mean(axis=1)), zeros)
+        )
+        d_recon = (
+            F.binary_cross_entropy(self.recon_disc(x.mean(axis=1)), ones)
+            + F.binary_cross_entropy(self.recon_disc(reconstruction.detach().mean(axis=1)), zeros)
+        )
+        return g_loss + d_latent + d_recon
+
+    def score_windows(self, windows: np.ndarray) -> np.ndarray:
+        with no_grad():
+            x = Tensor(windows)
+            error = (self.decoder(self.encoder(x)) - x) ** 2
+        return error.data.mean(axis=-1)
+
+
+class DAEMON(WindowModelDetector):
+    """Adversarial autoencoder with latent and reconstruction critics."""
+
+    name = "DAEMON"
+
+    def __init__(self, dim: int = 32, latent: int = 8, adversarial_weight: float = 0.1,
+                 epochs: int = 2, learning_rate: float = 1e-3, **kwargs):
+        super().__init__(epochs=epochs, learning_rate=learning_rate, **kwargs)
+        self.dim = dim
+        self.latent = latent
+        self.adversarial_weight = adversarial_weight
+
+    def build_model(self, n_features: int) -> _DAEMONModel:
+        rng = np.random.default_rng(self.seed)
+        return _DAEMONModel(n_features, self.dim, self.latent, rng, self.adversarial_weight)

@@ -1,0 +1,134 @@
+"""DAGMM baseline (Zong et al., ICLR 2018).
+
+Deep Autoencoding Gaussian Mixture Model: an autoencoder compresses each
+observation, the latent code is concatenated with reconstruction-error
+features, and a Gaussian mixture over that joint space yields a sample
+energy used as the anomaly score.
+
+Faithfulness note: the original trains the AE and the GMM estimation
+network jointly; here the AE trains first and the GMM is then fit by EM on
+the frozen representations.  The scoring pipeline (energy of
+``[z, recon_features]``) is identical, and two-stage training is a common,
+well-behaved variant at small scale — documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import GELU, Linear, Module, Sequential, Tensor, no_grad
+from ..nn import functional as F
+from .common import WindowModelDetector
+
+__all__ = ["DAGMM", "GaussianMixture"]
+
+
+class GaussianMixture:
+    """Diagonal-covariance Gaussian mixture fit with EM (from scratch)."""
+
+    def __init__(self, n_components: int = 4, n_iter: int = 50, seed: int = 0, reg: float = 1e-6):
+        self.n_components = n_components
+        self.n_iter = n_iter
+        self.seed = seed
+        self.reg = reg
+        self.means_: np.ndarray | None = None
+        self.variances_: np.ndarray | None = None
+        self.weights_: np.ndarray | None = None
+
+    def fit(self, data: np.ndarray) -> "GaussianMixture":
+        rng = np.random.default_rng(self.seed)
+        n, d = data.shape
+        k = min(self.n_components, n)
+        idx = rng.choice(n, size=k, replace=False)
+        self.means_ = data[idx].copy()
+        self.variances_ = np.tile(data.var(axis=0) + self.reg, (k, 1))
+        self.weights_ = np.full(k, 1.0 / k)
+        for _ in range(self.n_iter):
+            resp = self._responsibilities(data)
+            mass = resp.sum(axis=0) + 1e-12
+            self.weights_ = mass / n
+            self.means_ = (resp.T @ data) / mass[:, None]
+            centred_sq = (data[:, None, :] - self.means_[None]) ** 2
+            self.variances_ = (resp[:, :, None] * centred_sq).sum(axis=0) / mass[:, None] + self.reg
+        return self
+
+    def _log_prob(self, data: np.ndarray) -> np.ndarray:
+        """Per-component log density, shape (n, k)."""
+        diff = data[:, None, :] - self.means_[None]
+        exponent = -0.5 * (diff**2 / self.variances_[None]).sum(axis=-1)
+        log_norm = -0.5 * (np.log(2 * np.pi * self.variances_)).sum(axis=-1)
+        return exponent + log_norm[None]
+
+    def _responsibilities(self, data: np.ndarray) -> np.ndarray:
+        log_joint = self._log_prob(data) + np.log(self.weights_ + 1e-12)[None]
+        log_joint -= log_joint.max(axis=1, keepdims=True)
+        resp = np.exp(log_joint)
+        return resp / resp.sum(axis=1, keepdims=True)
+
+    def energy(self, data: np.ndarray) -> np.ndarray:
+        """Sample energy: negative log-likelihood under the mixture."""
+        if self.means_ is None:
+            raise RuntimeError("mixture must be fit before scoring")
+        log_joint = self._log_prob(data) + np.log(self.weights_ + 1e-12)[None]
+        m = log_joint.max(axis=1)
+        return -(m + np.log(np.exp(log_joint - m[:, None]).sum(axis=1) + 1e-12))
+
+
+class _DAGMMModel(Module):
+    def __init__(self, n_features: int, hidden: int, latent: int, rng: np.random.Generator):
+        super().__init__()
+        self.encoder = Sequential(
+            Linear(n_features, hidden, rng), GELU(), Linear(hidden, latent, rng)
+        )
+        self.decoder = Sequential(
+            Linear(latent, hidden, rng), GELU(), Linear(hidden, n_features, rng)
+        )
+        self.mixture: GaussianMixture | None = None
+
+    def loss(self, windows: np.ndarray) -> Tensor:
+        x = Tensor(windows)
+        reconstruction = self.decoder(self.encoder(x))
+        return F.mse_loss(reconstruction, x)
+
+    def joint_features(self, windows: np.ndarray) -> np.ndarray:
+        """``[z, relative_euclidean_error, per-point mse]`` per observation."""
+        with no_grad():
+            x = Tensor(windows)
+            z = self.encoder(x)
+            recon = self.decoder(z)
+        flat_x = windows.reshape(-1, windows.shape[-1])
+        flat_r = recon.data.reshape(-1, windows.shape[-1])
+        flat_z = z.data.reshape(-1, z.data.shape[-1])
+        norm = np.linalg.norm(flat_x, axis=1) + 1e-8
+        relative = np.linalg.norm(flat_x - flat_r, axis=1) / norm
+        mse = ((flat_x - flat_r) ** 2).mean(axis=1)
+        return np.concatenate([flat_z, relative[:, None], mse[:, None]], axis=1)
+
+    def score_windows(self, windows: np.ndarray) -> np.ndarray:
+        if self.mixture is None:
+            raise RuntimeError("GMM not fit; DAGMM.fit must run to completion")
+        features = self.joint_features(windows)
+        energy = self.mixture.energy(features)
+        return energy.reshape(windows.shape[0], windows.shape[1])
+
+
+class DAGMM(WindowModelDetector):
+    """Deep autoencoding Gaussian mixture model."""
+
+    name = "DAGMM"
+
+    def __init__(self, hidden: int = 64, latent: int = 4, n_components: int = 4,
+                 epochs: int = 3, learning_rate: float = 1e-3, **kwargs):
+        super().__init__(epochs=epochs, learning_rate=learning_rate, **kwargs)
+        self.hidden = hidden
+        self.latent = latent
+        self.n_components = n_components
+
+    def build_model(self, n_features: int) -> _DAGMMModel:
+        rng = np.random.default_rng(self.seed)
+        return _DAGMMModel(n_features, self.hidden, self.latent, rng)
+
+    def after_training(self, model: _DAGMMModel, train: np.ndarray) -> None:
+        sample = train[: min(len(train), 20_000)]
+        features = model.joint_features(sample[None, :, :])
+        model.mixture = GaussianMixture(self.n_components, seed=self.seed).fit(features)

@@ -1,0 +1,88 @@
+"""DCdetector baseline (Yang et al., KDD 2023).
+
+Dual-attention contrastive detector: the window is viewed at two
+granularities — **patch-wise** (attention across patch summaries,
+capturing global structure) and **in-patch** (attention inside each
+patch, capturing local structure).  Normal points look the same from both
+views; anomalies do not.  Training minimises the symmetric KL between the
+two per-position representations with stop-gradients on each side (pure
+positive-pair contrastive learning, no reconstruction); the anomaly score
+is the same discrepancy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor, TransformerStack, no_grad
+from ..nn import functional as F
+from ..nn.transformer import sinusoidal_positional_encoding
+from .common import WindowModelDetector
+
+__all__ = ["DCdetector"]
+
+
+class _DCdetectorModel(Module):
+    def __init__(self, n_features: int, dim: int, layers: int, heads: int,
+                 window: int, patch: int, rng: np.random.Generator):
+        super().__init__()
+        if window % patch != 0:
+            raise ValueError(f"patch size {patch} must divide window {window}")
+        self.dim = dim
+        self.patch = patch
+        self.embed = Linear(n_features, dim, rng)
+        self.patch_wise = TransformerStack(dim, layers, heads, rng)
+        self.in_patch = TransformerStack(dim, layers, heads, rng)
+        self._pe = sinusoidal_positional_encoding(window, dim)
+
+    def _views(self, windows: np.ndarray) -> tuple[Tensor, Tensor]:
+        batch, time, _ = windows.shape
+        n_patches = time // self.patch
+        x = self.embed(Tensor(windows)) + Tensor(self._pe)
+
+        # Patch-wise view: average each patch to a token, attend across
+        # patches, then broadcast back to positions.
+        tokens = x.reshape(batch, n_patches, self.patch, self.dim).mean(axis=2)
+        patch_repr = self.patch_wise(tokens)  # (B, n_patches, D)
+        ones = Tensor(np.ones((batch, n_patches, self.patch, self.dim)))
+        upsampled = patch_repr.reshape(batch, n_patches, 1, self.dim) * ones
+        patch_view = upsampled.reshape(batch, time, self.dim)
+
+        # In-patch view: attention restricted to positions inside a patch
+        # (realised by folding patches into the batch axis).
+        folded = x.reshape(batch * n_patches, self.patch, self.dim)
+        local = self.in_patch(folded)
+        local_view = local.reshape(batch, time, self.dim)
+        return patch_view, local_view
+
+    def loss(self, windows: np.ndarray) -> Tensor:
+        patch_view, local_view = self._views(windows)
+        # Symmetric stop-gradient contrastive objective (no negatives).
+        forward = F.symmetric_kl(patch_view.detach(), local_view)
+        backward = F.symmetric_kl(local_view.detach(), patch_view)
+        return forward + backward
+
+    def score_windows(self, windows: np.ndarray) -> np.ndarray:
+        with no_grad():
+            patch_view, local_view = self._views(windows)
+            discrepancy = F.symmetric_kl(patch_view, local_view, reduce=False)
+        return discrepancy.data
+
+
+class DCdetector(WindowModelDetector):
+    """Dual-granularity attention contrastive detector."""
+
+    name = "DCdetector"
+
+    def __init__(self, dim: int = 32, layers: int = 2, heads: int = 4, patch: int = 10,
+                 epochs: int = 2, learning_rate: float = 1e-3, **kwargs):
+        super().__init__(epochs=epochs, learning_rate=learning_rate, **kwargs)
+        self.dim = dim
+        self.layers = layers
+        self.heads = heads
+        self.patch = patch
+
+    def build_model(self, n_features: int) -> _DCdetectorModel:
+        rng = np.random.default_rng(self.seed)
+        return _DCdetectorModel(n_features, self.dim, self.layers, self.heads,
+                                self.window_size, self.patch, rng)

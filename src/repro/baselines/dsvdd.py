@@ -1,0 +1,76 @@
+"""Deep SVDD baseline (Ruff et al., ICML 2018).
+
+A neural encoder maps each observation into a latent space; training
+minimises the distance of mapped points to a fixed hypersphere centre
+``c`` (one-class objective).  Anomalies land far from the centre.  As in
+the original, ``c`` is set to the mean initial embedding (never learned —
+learning it collapses the sphere) and the encoder uses no bias terms for
+the same reason.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import GELU, Linear, Module, Sequential, Tensor, no_grad
+from .common import WindowModelDetector
+
+__all__ = ["DSVDD"]
+
+
+class _DSVDDModel(Module):
+    def __init__(self, n_features: int, hidden: int, latent: int, rng: np.random.Generator):
+        super().__init__()
+        # Bias-free encoder, per Ruff et al.'s collapse analysis.
+        self.encoder = Sequential(
+            Linear(n_features, hidden, rng, bias=False),
+            GELU(),
+            Linear(hidden, hidden, rng, bias=False),
+            GELU(),
+            Linear(hidden, latent, rng, bias=False),
+        )
+        self.center: np.ndarray | None = None
+
+    def set_center(self, windows: np.ndarray) -> None:
+        """Fix the hypersphere centre to the mean initial embedding."""
+        with no_grad():
+            embedded = self.encoder(Tensor(windows)).data
+        center = embedded.reshape(-1, embedded.shape[-1]).mean(axis=0)
+        # Guard against coordinates too close to zero (trivial solutions).
+        small = np.abs(center) < 0.1
+        center[small] = 0.1 * np.sign(center[small] + 1e-12)
+        self.center = center
+
+    def _distances(self, windows: np.ndarray) -> Tensor:
+        if self.center is None:
+            raise RuntimeError("centre not initialised; call set_center first")
+        embedded = self.encoder(Tensor(windows))
+        delta = embedded - Tensor(self.center)
+        return (delta * delta).sum(axis=-1)  # (B, T)
+
+    def loss(self, windows: np.ndarray) -> Tensor:
+        return self._distances(windows).mean()
+
+    def score_windows(self, windows: np.ndarray) -> np.ndarray:
+        with no_grad():
+            return self._distances(windows).data
+
+
+class DSVDD(WindowModelDetector):
+    """Deep support vector data description on per-observation embeddings."""
+
+    name = "DSVDD"
+
+    def __init__(self, hidden: int = 64, latent: int = 16, epochs: int = 3,
+                 learning_rate: float = 1e-3, **kwargs):
+        super().__init__(epochs=epochs, learning_rate=learning_rate, **kwargs)
+        self.hidden = hidden
+        self.latent = latent
+
+    def build_model(self, n_features: int) -> _DSVDDModel:
+        rng = np.random.default_rng(self.seed)
+        return _DSVDDModel(n_features, self.hidden, self.latent, rng)
+
+    def on_model_built(self, model: _DSVDDModel, train: np.ndarray) -> None:
+        sample = train[: min(len(train), 2048)]
+        model.set_center(sample[None, :, :])

@@ -1,0 +1,74 @@
+"""GPT4TS baseline (Zhou et al., NeurIPS 2023 — "One Fits All").
+
+GPT4TS reuses a pretrained language-model backbone for time series tasks:
+the Transformer blocks stay **frozen** and only the input embedding,
+output head and layer norms are tuned.  Anomaly detection is done by
+reconstruction.
+
+Substitution note: no pretrained GPT-2 weights are available offline, so
+the backbone is a randomly initialised Transformer stack, frozen exactly
+as the original freezes GPT-2.  What the paper's comparison exercises —
+"reconstruction through a frozen generic backbone with thin tuned
+adapters" — is preserved; absolute quality of the pretrained features is
+not (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor, TransformerStack, no_grad
+from ..nn import functional as F
+from ..nn.transformer import sinusoidal_positional_encoding
+from .common import WindowModelDetector
+
+__all__ = ["GPT4TS"]
+
+
+class _GPT4TSModel(Module):
+    def __init__(self, n_features: int, dim: int, layers: int, heads: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.dim = dim
+        self.embed = Linear(n_features, dim, rng)
+        self.backbone = TransformerStack(dim, layers, heads, rng)
+        self.head = Linear(dim, n_features, rng)
+        # Freeze the backbone, then re-enable its layer norms — the
+        # GPT4TS fine-tuning recipe.
+        self.backbone.freeze()
+        for name, param in self.backbone.named_parameters():
+            if ".norm" in name:
+                param.requires_grad = True
+        self._pe_cache: dict[int, np.ndarray] = {}
+
+    def _reconstruct(self, windows: np.ndarray) -> Tensor:
+        time = windows.shape[1]
+        if time not in self._pe_cache:
+            self._pe_cache[time] = sinusoidal_positional_encoding(time, self.dim)
+        hidden = self.embed(Tensor(windows)) + Tensor(self._pe_cache[time])
+        return self.head(self.backbone(hidden))
+
+    def loss(self, windows: np.ndarray) -> Tensor:
+        return F.mse_loss(self._reconstruct(windows), Tensor(windows))
+
+    def score_windows(self, windows: np.ndarray) -> np.ndarray:
+        with no_grad():
+            error = (self._reconstruct(windows) - Tensor(windows)) ** 2
+        return error.data.mean(axis=-1)
+
+
+class GPT4TS(WindowModelDetector):
+    """Frozen-backbone reconstruction detector."""
+
+    name = "GPT4TS"
+
+    def __init__(self, dim: int = 32, layers: int = 3, heads: int = 4,
+                 epochs: int = 2, learning_rate: float = 1e-3, **kwargs):
+        super().__init__(epochs=epochs, learning_rate=learning_rate, **kwargs)
+        self.dim = dim
+        self.layers = layers
+        self.heads = heads
+
+    def build_model(self, n_features: int) -> _GPT4TSModel:
+        rng = np.random.default_rng(self.seed)
+        return _GPT4TSModel(n_features, self.dim, self.layers, self.heads, rng)

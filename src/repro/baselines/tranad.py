@@ -1,0 +1,89 @@
+"""TranAD baseline (Tuli et al., VLDB 2022).
+
+Transformer encoder with two decoders and self-conditioning: decoder 1
+reconstructs directly; its squared error becomes a *focus score* that is
+fed back as an extra input channel for a second, adversarially trained
+pass.  Decoder 2 acts as the adversary — it tries to *inflate* the error
+of the self-conditioned reconstruction while decoder 1 tries to shrink it.
+The anomaly score averages both phases' per-observation errors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor, TransformerStack, no_grad
+from ..nn import functional as F
+from ..nn.module import frozen
+from ..nn.transformer import sinusoidal_positional_encoding
+from .common import WindowModelDetector
+
+__all__ = ["TranAD"]
+
+
+class _TranADModel(Module):
+    def __init__(self, n_features: int, dim: int, layers: int, heads: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.dim = dim
+        # Input = window concatenated with the focus-score channel.
+        self.embed = Linear(2 * n_features, dim, rng)
+        self.encoder = TransformerStack(dim, layers, heads, rng)
+        self.decoder1 = Linear(dim, n_features, rng)
+        self.decoder2 = Linear(dim, n_features, rng)
+        self._pe_cache: dict[int, np.ndarray] = {}
+
+    def _encode(self, x: Tensor, focus: Tensor) -> Tensor:
+        time = x.shape[1]
+        if time not in self._pe_cache:
+            self._pe_cache[time] = sinusoidal_positional_encoding(time, self.dim)
+        hidden = self.embed(Tensor.concat([x, focus], axis=2)) + Tensor(self._pe_cache[time])
+        return self.encoder(hidden)
+
+    def _two_phase(self, windows: np.ndarray) -> tuple[Tensor, Tensor, Tensor]:
+        x = Tensor(windows)
+        zero_focus = Tensor(np.zeros_like(windows))
+        # Phase 1: plain reconstruction with zero focus.
+        o1 = self.decoder1(self._encode(x, zero_focus))
+        # Phase 2: self-conditioning on the (detached) phase-1 error map.
+        focus = Tensor(((o1.data - windows) ** 2))
+        o2 = self.decoder2(self._encode(x, focus))
+        return x, o1, o2
+
+    def loss(self, windows: np.ndarray) -> Tensor:
+        # Adversarial phase-2: encoder/decoder1 minimise the conditioned
+        # error (decoder2 frozen); decoder2 maximises it (the rest frozen).
+        # o1's gradient path never touches decoder2, so the first pass also
+        # provides the plain phase-1 reconstruction term.
+        with frozen(self.decoder2):
+            x, o1, o2_min = self._two_phase(windows)
+            recon1 = F.mse_loss(o1, x)
+            adv_min = F.mse_loss(o2_min, x)
+        with frozen(self.encoder), frozen(self.decoder1), frozen(self.embed):
+            _, _, o2_max = self._two_phase(windows)
+            adv_max = F.mse_loss(o2_max, x)
+        return recon1 + adv_min - adv_max
+
+    def score_windows(self, windows: np.ndarray) -> np.ndarray:
+        with no_grad():
+            x, o1, o2 = self._two_phase(windows)
+        err1 = ((o1.data - windows) ** 2).mean(axis=-1)
+        err2 = ((o2.data - windows) ** 2).mean(axis=-1)
+        return 0.5 * (err1 + err2)
+
+
+class TranAD(WindowModelDetector):
+    """Self-conditioned adversarial Transformer detector."""
+
+    name = "TranAD"
+
+    def __init__(self, dim: int = 32, layers: int = 2, heads: int = 4,
+                 epochs: int = 2, learning_rate: float = 1e-3, **kwargs):
+        super().__init__(epochs=epochs, learning_rate=learning_rate, **kwargs)
+        self.dim = dim
+        self.layers = layers
+        self.heads = heads
+
+    def build_model(self, n_features: int) -> _TranADModel:
+        rng = np.random.default_rng(self.seed)
+        return _TranADModel(n_features, self.dim, self.layers, self.heads, rng)

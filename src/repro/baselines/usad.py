@@ -1,0 +1,101 @@
+"""USAD baseline (Audibert et al., KDD 2020).
+
+UnSupervised Anomaly Detection: one encoder ``E`` and two decoders
+``D1``/``D2`` form two autoencoders.  Adversarial two-phase training makes
+``AE2`` learn to distinguish real windows from ``AE1`` reconstructions
+while ``AE1`` learns to fool it:
+
+* ``AE1``: minimise ``1/n * ||W - W1|| + (1 - 1/n) * ||W - W2'||``
+* ``AE2``: minimise ``1/n * ||W - W2|| - (1 - 1/n) * ||W - W2'||``
+
+with ``W2' = D2(E(W1))`` and ``n`` the epoch number.  The score is
+``alpha * ||w - W1|| + beta * ||w - W2'||`` per observation.  The phase
+weighting is reproduced with the epoch counter advanced per training call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import GELU, Linear, Module, Sequential, Tensor, no_grad
+from ..nn.module import frozen
+from .common import WindowModelDetector
+
+__all__ = ["USAD"]
+
+
+def _mse(a: Tensor, b: Tensor) -> Tensor:
+    diff = a - b
+    return (diff * diff).mean()
+
+
+class _USADModel(Module):
+    def __init__(self, n_features: int, window: int, latent: int, rng: np.random.Generator):
+        super().__init__()
+        self.window = window
+        self.n_features = n_features
+        flat = window * n_features
+        hidden = max(latent * 2, flat // 4)
+        self.encoder = Sequential(
+            Linear(flat, hidden, rng), GELU(), Linear(hidden, latent, rng), GELU()
+        )
+        self.decoder1 = Sequential(
+            Linear(latent, hidden, rng), GELU(), Linear(hidden, flat, rng)
+        )
+        self.decoder2 = Sequential(
+            Linear(latent, hidden, rng), GELU(), Linear(hidden, flat, rng)
+        )
+        self.epoch = 1  # advanced by the detector each epoch
+
+    def _flatten(self, windows: np.ndarray) -> Tensor:
+        return Tensor(windows.reshape(windows.shape[0], -1))
+
+    def loss(self, windows: np.ndarray) -> Tensor:
+        w = self._flatten(windows)
+        z = self.encoder(w)
+        w1 = self.decoder1(z)
+        w2 = self.decoder2(z)
+        n = float(self.epoch)
+        a, b = 1.0 / n, 1.0 - 1.0 / n
+
+        # AE1 phase: W2' computed with AE2 frozen so only AE1 learns to fool it.
+        with frozen(self.decoder2):
+            w2_prime_for_ae1 = self.decoder2(self.encoder(w1))
+        loss_ae1 = a * _mse(w1, w) + b * _mse(w2_prime_for_ae1, w)
+
+        # AE2 phase: W2' computed with AE1 frozen so only AE2 learns to
+        # separate real windows from AE1 outputs.
+        with frozen(self.decoder1):
+            w1_frozen = self.decoder1(z.detach())
+        w2_prime_for_ae2 = self.decoder2(self.encoder(w1_frozen))
+        loss_ae2 = a * _mse(w2, w) - b * _mse(w2_prime_for_ae2, w)
+
+        return loss_ae1 + loss_ae2
+
+    def score_windows(self, windows: np.ndarray, alpha: float = 0.5, beta: float = 0.5) -> np.ndarray:
+        batch, time, features = windows.shape
+        with no_grad():
+            w = self._flatten(windows)
+            z = self.encoder(w)
+            w1 = self.decoder1(z)
+            w2_prime = self.decoder2(self.encoder(w1))
+        err1 = ((w1.data - w.data) ** 2).reshape(batch, time, features).mean(axis=-1)
+        err2 = ((w2_prime.data - w.data) ** 2).reshape(batch, time, features).mean(axis=-1)
+        return alpha * err1 + beta * err2
+
+
+class USAD(WindowModelDetector):
+    """Two-decoder adversarial autoencoder detector."""
+
+    name = "USAD"
+
+    def __init__(self, latent: int = 32, epochs: int = 3, learning_rate: float = 1e-3, **kwargs):
+        super().__init__(epochs=epochs, learning_rate=learning_rate, **kwargs)
+        self.latent = latent
+
+    def build_model(self, n_features: int) -> _USADModel:
+        rng = np.random.default_rng(self.seed)
+        return _USADModel(n_features, self.window_size, self.latent, rng)
+
+    def on_epoch_end(self, model: _USADModel, epoch: int) -> None:
+        model.epoch = epoch + 2  # 1/n weighting with n = next epoch number

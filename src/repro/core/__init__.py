@@ -1,0 +1,22 @@
+"""TFMAE core: the paper's primary contribution.
+
+Exposes the configuration, the model with its two masked autoencoder
+branches, the trainer and the end-user detector facade.
+"""
+
+from .config import PAPER_PRESETS, TFMAEConfig, preset_for
+from .detector import TFMAE
+from .model import FrequencyBranch, TemporalBranch, TFMAEModel
+from .trainer import TFMAETrainer, TrainingLog
+
+__all__ = [
+    "TFMAEConfig",
+    "PAPER_PRESETS",
+    "preset_for",
+    "TFMAEModel",
+    "TemporalBranch",
+    "FrequencyBranch",
+    "TFMAETrainer",
+    "TrainingLog",
+    "TFMAE",
+]

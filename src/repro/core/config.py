@@ -1,0 +1,125 @@
+"""Configuration for TFMAE, including the paper's per-dataset settings.
+
+The defaults follow Section V-A.4 of the paper: Adam with learning rate
+1e-4, one epoch, batch size 64, 3 Transformer layers, hidden dimension
+128, sliding-window length 10 for the coefficient of variation, and input
+windows of length 100 (the fair-comparison protocol of Table III).
+
+Per-dataset masking ratios come from Figure 6 and the threshold ratios
+``r`` from Section V-A.4.  The reproduction's synthetic dataset profiles
+reuse the same names so the presets apply directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..masking.frequency import FrequencyMaskStrategy
+from ..masking.temporal import TemporalMaskStrategy
+
+__all__ = ["TFMAEConfig", "PAPER_PRESETS", "preset_for"]
+
+
+@dataclass(frozen=True)
+class TFMAEConfig:
+    """Hyper-parameters and architectural switches for TFMAE.
+
+    Architectural switches default to the full model; the ablation benches
+    (Tables IV and V) flip them to realise each paper variant.
+    """
+
+    # --- data/protocol ---
+    window_size: int = 100           # fixed input length (Table III protocol)
+    anomaly_ratio: float = 0.9       # r%: share of data flagged as anomalous
+
+    # --- architecture ---
+    d_model: int = 128               # hidden feature dimension D
+    num_layers: int = 3              # Transformer layers L
+    num_heads: int = 8
+    ffn_dim: int | None = None       # defaults to 4 * d_model
+    dropout: float = 0.0
+
+    # --- masking ---
+    temporal_mask_ratio: float = 55.0      # r^(T) percent
+    frequency_mask_ratio: float = 40.0     # r^(F) percent
+    cov_window: int = 10                   # W for the local statistic
+    temporal_mask_strategy: TemporalMaskStrategy = "cov"
+    frequency_mask_strategy: FrequencyMaskStrategy = "amplitude"
+    use_fft_acceleration: bool = True      # False => "w/o FFT" ablation
+
+    # --- training ---
+    learning_rate: float = 1e-4
+    epochs: int = 1
+    batch_size: int = 64
+    grad_clip: float | None = 5.0
+    seed: int = 0
+    # Stop when the epoch-mean alignment loss (the minimisation component
+    # of Eq. 15) has worsened for this many consecutive epochs; None
+    # disables.  Prolonged adversarial training can run away — the paper
+    # sidesteps this by training a single epoch at full scale, but
+    # multi-epoch schedules at smaller scales need the guard.
+    early_stop_patience: int | None = None
+    # Snapshot selection: after each epoch, score a validation probe
+    # corrupted with synthetic 6-sigma spikes at known positions and keep
+    # the weights with the best spike-vs-normal ROC-AUC.  Label-free (the
+    # probe is self-generated), and the standard defence against the
+    # view-collapse failure mode of positive-pair contrastive training,
+    # where both views align so well that the discrepancy signal — and
+    # detection — dies.  Requires a validation split at fit time.
+    select_best_epoch: bool = False
+
+    # --- objective (Table IV ablations) ---
+    adversarial: bool = True               # False => "w/o L_adv"
+    reversed_adversarial: bool = False     # True  => "w/ L_radv"
+
+    # --- architecture ablations (Table IV) ---
+    use_frequency_branch: bool = True      # False => "w/o Fre"
+    use_frequency_decoder: bool = True     # False => "w/o FD"
+    use_temporal_branch: bool = True       # False => "w/o Tem"
+    use_temporal_encoder: bool = True      # False => "w/o TE"
+    use_temporal_decoder: bool = True      # False => "w/o TD"
+
+    def __post_init__(self) -> None:
+        if self.window_size < 2:
+            raise ValueError("window_size must be >= 2")
+        if not (self.use_temporal_branch or self.use_frequency_branch):
+            raise ValueError("at least one of the temporal/frequency branches is required")
+        if not 0.0 <= self.temporal_mask_ratio <= 100.0:
+            raise ValueError("temporal_mask_ratio must be in [0, 100]")
+        if not 0.0 <= self.frequency_mask_ratio <= 100.0:
+            raise ValueError("frequency_mask_ratio must be in [0, 100]")
+        if self.d_model % self.num_heads != 0:
+            raise ValueError("d_model must be divisible by num_heads")
+
+    def with_overrides(self, **kwargs) -> "TFMAEConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+# Masking ratios from Figure 6 (optimal per dataset) and threshold ratios
+# r from Section V-A.4 of the paper.  The paper does not report ratios for
+# the NIPS-TS case-study datasets; those two entries were tuned on the
+# synthetic generators here.  Note the seasonal preset keeps the temporal
+# ratio LOW: masking too aggressively normal-recovers the pattern anomaly
+# in the temporal view as well, erasing the cross-view discrepancy.
+PAPER_PRESETS: dict[str, dict[str, float]] = {
+    "SWaT": {"temporal_mask_ratio": 25.0, "frequency_mask_ratio": 40.0, "anomaly_ratio": 0.3},
+    "SMD": {"temporal_mask_ratio": 5.0, "frequency_mask_ratio": 20.0, "anomaly_ratio": 0.45},
+    "SMAP": {"temporal_mask_ratio": 65.0, "frequency_mask_ratio": 30.0, "anomaly_ratio": 0.75},
+    "PSM": {"temporal_mask_ratio": 65.0, "frequency_mask_ratio": 10.0, "anomaly_ratio": 0.9},
+    "MSL": {"temporal_mask_ratio": 55.0, "frequency_mask_ratio": 40.0, "anomaly_ratio": 0.9},
+    "NIPS-TS-Global": {"temporal_mask_ratio": 55.0, "frequency_mask_ratio": 30.0, "anomaly_ratio": 2.5},
+    "NIPS-TS-Seasonal": {"temporal_mask_ratio": 15.0, "frequency_mask_ratio": 30.0, "anomaly_ratio": 5.0},
+}
+
+
+def preset_for(dataset: str, base: TFMAEConfig | None = None, **overrides) -> TFMAEConfig:
+    """Build a config using the paper's per-dataset masking/threshold ratios.
+
+    Unknown dataset names fall back to the defaults, so user datasets work
+    without registration.
+    """
+    config = base if base is not None else TFMAEConfig()
+    preset = PAPER_PRESETS.get(dataset, {})
+    merged = {**preset, **overrides}
+    return config.with_overrides(**merged) if merged else config

@@ -1,0 +1,68 @@
+"""Public TFMAE detector facade.
+
+:class:`TFMAE` wires the model, trainer, windowed scoring and threshold
+protocol behind the library-wide :class:`~repro.detector.BaseDetector`
+interface:
+
+>>> from repro.core import TFMAE, TFMAEConfig
+>>> detector = TFMAE(TFMAEConfig(window_size=100))
+>>> detector.fit(train, validation)          # doctest: +SKIP
+>>> labels = detector.predict(test)          # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets.windows import score_series
+from ..detector import BaseDetector
+from .config import TFMAEConfig
+from .model import TFMAEModel
+from .trainer import TFMAETrainer, TrainingLog
+
+__all__ = ["TFMAE"]
+
+
+class TFMAE(BaseDetector):
+    """Temporal-Frequency Masked Autoencoder anomaly detector.
+
+    Parameters
+    ----------
+    config:
+        Model/training configuration; defaults reproduce the paper's
+        Section V-A.4 settings.  The number of series features is inferred
+        at :meth:`fit` time.
+    """
+
+    name = "TFMAE"
+
+    def __init__(self, config: TFMAEConfig | None = None):
+        self.config = config if config is not None else TFMAEConfig()
+        super().__init__(anomaly_ratio=self.config.anomaly_ratio)
+        self.model: TFMAEModel | None = None
+        self.training_log: TrainingLog | None = None
+
+    def fit(self, train: np.ndarray, validation: np.ndarray | None = None) -> "TFMAE":
+        # Stash the validation split so the trainer can run snapshot
+        # selection against a synthetic probe built from it.
+        self._validation_for_selection = validation
+        super().fit(train, validation)
+        return self
+
+    def _fit(self, train: np.ndarray) -> None:
+        self.model = TFMAEModel(n_features=train.shape[1], config=self.config)
+        trainer = TFMAETrainer(self.model, self.config)
+        self.training_log = trainer.fit(
+            train, validation=getattr(self, "_validation_for_selection", None)
+        )
+
+    def score(self, series: np.ndarray) -> np.ndarray:
+        """Per-observation contrastive discrepancy (Eq. 16)."""
+        self._require_fitted()
+        assert self.model is not None
+        return score_series(
+            series,
+            size=self.config.window_size,
+            score_fn=self.model.score_windows,
+            batch_size=self.config.batch_size,
+        )

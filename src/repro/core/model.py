@@ -1,0 +1,262 @@
+"""The TFMAE model: dual temporal/frequency masked autoencoders (Fig. 2/5).
+
+Two Transformer-based autoencoders produce representations of the same
+window from complementary views:
+
+* the **temporal branch** masks high coefficient-of-variation observations
+  (likely observation anomalies), encodes the unmasked tokens, then runs a
+  decoder over the full sequence with learnable mask tokens at the masked
+  positions (paper Fig. 5 right);
+* the **frequency branch** masks low-amplitude frequency bins (likely
+  pattern anomalies), substitutes a learnable complex token, inverts to
+  the time domain, and runs a decoder-only Transformer (Fig. 5 left).
+
+The discrepancy (symmetric KL) between the two final representations is
+the anomaly criterion.  When an ablation removes one branch entirely the
+model degrades to a reconstruction autoencoder on the remaining branch,
+which keeps the "w/o Fre"/"w/o Tem" rows of Table IV trainable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..masking import FrequencyMasker, TemporalMasker
+from ..nn import Module, Parameter, Tensor
+from ..nn import functional as F
+from ..nn import init
+from ..nn.transformer import TransformerStack, sinusoidal_positional_encoding
+from .config import TFMAEConfig
+
+__all__ = ["TemporalBranch", "FrequencyBranch", "TFMAEModel"]
+
+
+class TemporalBranch(Module):
+    """Temporal masking-based autoencoder (paper Fig. 5, right).
+
+    Produces ``P^(L)`` of shape ``(batch, T, D)`` from raw windows.
+    """
+
+    def __init__(self, n_features: int, config: TFMAEConfig, rng: np.random.Generator):
+        super().__init__()
+        self.config = config
+        self.masker = TemporalMasker(
+            ratio=config.temporal_mask_ratio,
+            window=config.cov_window,
+            strategy=config.temporal_mask_strategy,
+            use_fft=config.use_fft_acceleration,
+            rng=rng,
+        )
+        self.projection = nn.Linear(n_features, config.d_model, rng)  # W^(T), b^(T)
+        self.mask_token = Parameter(init.normal((config.d_model,), rng), name="m_T")
+        if config.use_temporal_encoder:
+            self.encoder = TransformerStack(
+                config.d_model, config.num_layers, config.num_heads, rng,
+                ffn_dim=config.ffn_dim, dropout=config.dropout,
+            )
+        else:
+            self.encoder = None
+        if config.use_temporal_decoder:
+            self.decoder = TransformerStack(
+                config.d_model, config.num_layers, config.num_heads, rng,
+                ffn_dim=config.ffn_dim, dropout=config.dropout,
+            )
+        else:
+            self.decoder = None
+        self._pe_cache: dict[int, np.ndarray] = {}
+
+    def _positional_encoding(self, length: int) -> np.ndarray:
+        if length not in self._pe_cache:
+            self._pe_cache[length] = sinusoidal_positional_encoding(length, self.config.d_model)
+        return self._pe_cache[length]
+
+    def forward(self, windows: np.ndarray) -> Tensor:
+        batch, time, _ = windows.shape
+        result = self.masker(windows)
+        pe = self._positional_encoding(time)
+        projected = self.projection(Tensor(windows))  # (B, T, D), Eq. 3 for all t
+
+        num_masked = result.num_masked
+        rows = np.arange(batch)[:, None]
+
+        if self.encoder is not None and 0 < num_masked < time:
+            # Encode only the unmasked tokens, at their original positions.
+            unmasked = projected[rows, result.unmasked_indices]
+            unmasked = unmasked + Tensor(pe[result.unmasked_indices])
+            encoded = self.encoder(unmasked)
+            unmasked_full = Tensor.scatter(
+                encoded, (rows, result.unmasked_indices), (batch, time, self.config.d_model)
+            )
+        else:
+            # No masking (or no encoder): the "unmasked representation" is
+            # the position-encoded projection, optionally encoded whole.
+            full = projected + Tensor(pe)
+            unmasked_full = self.encoder(full) if (self.encoder is not None and num_masked == 0) else full
+
+        # Insert mask tokens (with positional encoding) at masked slots.
+        masked_value = self.mask_token + Tensor(pe)  # (T, D), broadcasts over batch
+        decoder_input = Tensor.where(result.mask[:, :, None], masked_value, unmasked_full)
+
+        if self.decoder is not None:
+            return self.decoder(decoder_input)
+        return decoder_input
+
+
+class FrequencyBranch(Module):
+    """Frequency masking-based decoder-only autoencoder (paper Fig. 5, left).
+
+    Produces ``F^(L)`` of shape ``(batch, T, D)`` from raw windows.
+    """
+
+    def __init__(self, n_features: int, config: TFMAEConfig, rng: np.random.Generator):
+        super().__init__()
+        self.config = config
+        self.masker = FrequencyMasker(
+            ratio=config.frequency_mask_ratio,
+            strategy=config.frequency_mask_strategy,
+            rng=rng,
+        )
+        # m^(F) in C^N, stored as separate real/imaginary parameters.
+        self.mask_token_re = Parameter(init.normal((n_features,), rng), name="m_F_re")
+        self.mask_token_im = Parameter(init.normal((n_features,), rng), name="m_F_im")
+        self.projection = nn.Linear(n_features, config.d_model, rng)  # W^(F), b^(F)
+        if config.use_frequency_decoder:
+            self.decoder = TransformerStack(
+                config.d_model, config.num_layers, config.num_heads, rng,
+                ffn_dim=config.ffn_dim, dropout=config.dropout,
+            )
+        else:
+            self.decoder = None
+        self._pe_cache: dict[int, np.ndarray] = {}
+
+    def _positional_encoding(self, length: int) -> np.ndarray:
+        if length not in self._pe_cache:
+            self._pe_cache[length] = sinusoidal_positional_encoding(length, self.config.d_model)
+        return self._pe_cache[length]
+
+    def forward(self, windows: np.ndarray) -> Tensor:
+        _, time, _ = windows.shape
+        result = self.masker(windows)
+        # Eq. 9-10: replaced spectrum inverted to the time domain, with the
+        # learnable token entering through the linear basis decomposition.
+        masked_series = (
+            Tensor(result.fixed)
+            + self.mask_token_re * Tensor(result.cos_basis)
+            - self.mask_token_im * Tensor(result.sin_basis)
+        )
+        representation = self.projection(masked_series)
+        representation = representation + Tensor(self._positional_encoding(time))  # Eq. 11
+        if self.decoder is not None:
+            return self.decoder(representation)
+        return representation
+
+
+class TFMAEModel(Module):
+    """Full TFMAE: both branches plus the adversarial contrastive objective.
+
+    Parameters
+    ----------
+    n_features:
+        Number of series features ``N``.
+    config:
+        Hyper-parameters and ablation switches.
+    """
+
+    def __init__(self, n_features: int, config: TFMAEConfig | None = None):
+        super().__init__()
+        self.config = config if config is not None else TFMAEConfig()
+        self.n_features = n_features
+        rng = np.random.default_rng(self.config.seed)
+
+        if self.config.use_temporal_branch:
+            self.temporal = TemporalBranch(n_features, self.config, rng)
+        else:
+            self.temporal = None
+        if self.config.use_frequency_branch:
+            self.frequency = FrequencyBranch(n_features, self.config, rng)
+        else:
+            self.frequency = None
+
+        self._dual = self.temporal is not None and self.frequency is not None
+        if not self._dual:
+            # Single-branch ablations fall back to reconstruction; they
+            # need an output head mapping D back to N.
+            self.reconstruction_head = nn.Linear(self.config.d_model, n_features, rng)
+
+    # ------------------------------------------------------------------
+    # forward passes
+    # ------------------------------------------------------------------
+    def forward(self, windows: np.ndarray) -> tuple[Tensor | None, Tensor | None]:
+        """Return ``(P^(L), F^(L))``; a missing branch yields ``None``."""
+        if windows.ndim != 3:
+            raise ValueError(f"expected (batch, time, features), got shape {windows.shape}")
+        if windows.shape[-1] != self.n_features:
+            raise ValueError(
+                f"model built for {self.n_features} features, got {windows.shape[-1]}"
+            )
+        p = self.temporal(windows) if self.temporal is not None else None
+        f = self.frequency(windows) if self.frequency is not None else None
+        return p, f
+
+    # ------------------------------------------------------------------
+    # objective (Eq. 14-15)
+    # ------------------------------------------------------------------
+    def loss(self, windows: np.ndarray) -> tuple[Tensor, dict[str, float]]:
+        """Training loss for one batch plus logging metrics.
+
+        Dual-branch mode uses the adversarial contrastive objective; the
+        single-branch ablations use reconstruction MSE.
+        """
+        p, f = self.forward(windows)
+        if self._dual:
+            loss, metrics = self._contrastive_loss(p, f)
+        else:
+            representation = p if p is not None else f
+            reconstruction = self.reconstruction_head(representation)
+            loss = F.mse_loss(reconstruction, Tensor(windows))
+            metrics = {"reconstruction_mse": loss.item()}
+        return loss, metrics
+
+    def _contrastive_loss(self, p: Tensor, f: Tensor) -> tuple[Tensor, dict[str, float]]:
+        config = self.config
+        if not config.adversarial:
+            # Plain contrastive objective (Eq. 14): both branches minimise.
+            loss = F.symmetric_kl(p, f)
+            return loss, {"contrastive": loss.item()}
+
+        if config.reversed_adversarial:
+            # "w/ L_radv": swap the roles of P and F in Eq. 15.
+            anchor, mover = f, p
+        else:
+            # Eq. 15: the frequency branch minimises the discrepancy
+            # towards a frozen temporal view; the temporal branch maximises
+            # it against a frozen frequency view.
+            anchor, mover = p, f
+        minimise = F.symmetric_kl(anchor.detach(), mover)
+        maximise = F.symmetric_kl(anchor, mover.detach())
+        loss = minimise - maximise
+        return loss, {
+            "minimise": minimise.item(),
+            "maximise": maximise.item(),
+        }
+
+    # ------------------------------------------------------------------
+    # anomaly score (Eq. 16)
+    # ------------------------------------------------------------------
+    def score_windows(self, windows: np.ndarray) -> np.ndarray:
+        """Per-observation anomaly score for a batch of windows.
+
+        Returns an array of shape ``(batch, time)``.  Dual-branch mode uses
+        the symmetric KL discrepancy (Eq. 16); single-branch ablations use
+        the per-point reconstruction error.
+        """
+        with nn.no_grad():
+            p, f = self.forward(windows)
+            if self._dual:
+                score = F.symmetric_kl(p, f, reduce=False)
+                return score.data
+            representation = p if p is not None else f
+            reconstruction = self.reconstruction_head(representation)
+            error = (reconstruction - Tensor(windows)) ** 2
+            return error.data.mean(axis=-1)

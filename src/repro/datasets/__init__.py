@@ -1,0 +1,62 @@
+"""Benchmark datasets: containers, generators, anomaly injection, windowing."""
+
+from .base import StandardScaler, TimeSeriesDataset
+from .io import (
+    load_dataset_csv,
+    load_dataset_npz,
+    save_dataset_csv,
+    save_dataset_npz,
+)
+from .injection import (
+    inject_contextual,
+    inject_global,
+    inject_seasonal,
+    inject_shapelet,
+    inject_trend,
+    random_positions,
+    random_segments,
+)
+from .profiles import (
+    PROFILE_SPECS,
+    DatasetSpec,
+    make_msl,
+    make_psm,
+    make_smap,
+    make_smd,
+    make_swat,
+)
+from .registry import DATASET_GENERATORS, available_datasets, get_dataset
+from .synthetic import make_nips_ts_global, make_nips_ts_seasonal, sinusoidal_base
+from .windows import non_overlapping_windows, score_series, sliding_windows
+
+__all__ = [
+    "TimeSeriesDataset",
+    "StandardScaler",
+    "save_dataset_npz",
+    "load_dataset_npz",
+    "save_dataset_csv",
+    "load_dataset_csv",
+    "inject_global",
+    "inject_contextual",
+    "inject_shapelet",
+    "inject_seasonal",
+    "inject_trend",
+    "random_positions",
+    "random_segments",
+    "DatasetSpec",
+    "PROFILE_SPECS",
+    "make_msl",
+    "make_smap",
+    "make_psm",
+    "make_smd",
+    "make_swat",
+    "make_nips_ts_global",
+    "make_nips_ts_seasonal",
+    "sinusoidal_base",
+    "DATASET_GENERATORS",
+    "get_dataset",
+    "available_datasets",
+    "sliding_windows",
+    "non_overlapping_windows",
+    "score_series",
+]

@@ -1,0 +1,114 @@
+"""Dataset container and normalisation.
+
+A :class:`TimeSeriesDataset` bundles the train/validation/test splits and
+test labels in the layout every experiment consumes.  Normalisation
+statistics are always fit on the training split only — fitting on test
+data would leak the distribution shift the paper studies (Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = ["TimeSeriesDataset", "StandardScaler"]
+
+
+class StandardScaler:
+    """Per-feature z-score normalisation fit on the training split."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.std_: np.ndarray | None = None
+
+    def fit(self, series: np.ndarray) -> "StandardScaler":
+        if series.ndim != 2:
+            raise ValueError(f"expected (time, features), got shape {series.shape}")
+        self.mean_ = series.mean(axis=0)
+        std = series.std(axis=0)
+        # Constant channels (common in SWaT-style actuator data) would
+        # otherwise divide by zero.
+        self.std_ = np.where(std < 1e-8, 1.0, std)
+        return self
+
+    def transform(self, series: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler must be fit before transform")
+        return (series - self.mean_) / self.std_
+
+    def fit_transform(self, series: np.ndarray) -> np.ndarray:
+        return self.fit(series).transform(series)
+
+    def inverse_transform(self, series: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("scaler must be fit before inverse_transform")
+        return series * self.std_ + self.mean_
+
+
+@dataclass(frozen=True)
+class TimeSeriesDataset:
+    """Train/validation/test splits plus test labels.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier (e.g. ``"MSL"``); keys into the paper presets.
+    train, validation, test:
+        ``(time, features)`` float arrays.
+    test_labels:
+        ``(time,)`` binary array aligned with ``test``; 1 marks anomalies.
+    train_labels:
+        Optional labels for the training split (synthetic generators keep
+        them for diagnostics; real protocols train unsupervised).
+    """
+
+    name: str
+    train: np.ndarray
+    validation: np.ndarray
+    test: np.ndarray
+    test_labels: np.ndarray
+    train_labels: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        for split_name in ("train", "validation", "test"):
+            split = getattr(self, split_name)
+            if split.ndim != 2:
+                raise ValueError(f"{split_name} must be (time, features), got {split.shape}")
+        if self.test_labels.shape[0] != self.test.shape[0]:
+            raise ValueError(
+                f"test_labels length {self.test_labels.shape[0]} != test length {self.test.shape[0]}"
+            )
+        widths = {self.train.shape[1], self.validation.shape[1], self.test.shape[1]}
+        if len(widths) != 1:
+            raise ValueError(f"splits disagree on feature count: {widths}")
+
+    @property
+    def n_features(self) -> int:
+        return self.train.shape[1]
+
+    @property
+    def anomaly_ratio(self) -> float:
+        """Fraction of test observations labelled anomalous."""
+        return float(self.test_labels.mean())
+
+    def normalised(self) -> "TimeSeriesDataset":
+        """Return a copy z-scored with statistics from the training split."""
+        scaler = StandardScaler().fit(self.train)
+        return replace(
+            self,
+            train=scaler.transform(self.train),
+            validation=scaler.transform(self.validation),
+            test=scaler.transform(self.test),
+        )
+
+    def summary(self) -> dict[str, object]:
+        """Statistics row matching the paper's Table II."""
+        return {
+            "dataset": self.name,
+            "dimension": self.n_features,
+            "train": self.train.shape[0],
+            "validation": self.validation.shape[0],
+            "test": self.test.shape[0],
+            "anomaly_ratio_pct": round(100.0 * self.anomaly_ratio, 1),
+        }

@@ -1,0 +1,187 @@
+"""Anomaly injection library.
+
+Implements the behaviour-driven anomaly taxonomy of Lai et al. (NeurIPS
+2021), the source of the paper's NIPS-TS benchmarks and of its anomaly
+vocabulary: *point* anomalies (global, contextual) and *pattern* anomalies
+(shapelet, seasonal, trend).  Every injector mutates a copy of the input
+and returns the new series together with a binary label array.
+
+All injectors operate on one channel of shape ``(time,)``; multivariate
+generators call them per channel.  Randomness flows through an explicit
+``numpy.random.Generator`` so datasets are fully reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "inject_global",
+    "inject_contextual",
+    "inject_shapelet",
+    "inject_seasonal",
+    "inject_trend",
+    "random_positions",
+    "random_segments",
+]
+
+
+def random_positions(length: int, count: int, rng: np.random.Generator, margin: int = 1) -> np.ndarray:
+    """Sample ``count`` distinct positions in ``[margin, length - margin)``."""
+    if count <= 0:
+        return np.empty(0, dtype=np.int64)
+    candidates = np.arange(margin, length - margin)
+    if count > candidates.size:
+        raise ValueError(f"cannot place {count} anomalies in {candidates.size} slots")
+    return np.sort(rng.choice(candidates, size=count, replace=False))
+
+
+def random_segments(
+    length: int,
+    count: int,
+    segment_length: int,
+    rng: np.random.Generator,
+) -> list[tuple[int, int]]:
+    """Sample ``count`` non-overlapping ``[start, stop)`` segments."""
+    if count <= 0:
+        return []
+    segments: list[tuple[int, int]] = []
+    attempts = 0
+    while len(segments) < count and attempts < 1000 * count:
+        attempts += 1
+        start = int(rng.integers(0, max(1, length - segment_length)))
+        stop = start + segment_length
+        if all(stop <= s or start >= e for s, e in segments):
+            segments.append((start, stop))
+    segments.sort()
+    return segments
+
+
+def inject_global(
+    channel: np.ndarray,
+    positions: np.ndarray,
+    rng: np.random.Generator,
+    magnitude: float = 6.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Global point anomalies: values far outside the global range.
+
+    Each selected observation is pushed ``magnitude`` global standard
+    deviations away from the global mean, with random sign.
+    """
+    out = channel.copy()
+    labels = np.zeros(channel.shape[0], dtype=np.int64)
+    if positions.size == 0:
+        return out, labels
+    mean, std = channel.mean(), channel.std() + 1e-8
+    signs = rng.choice([-1.0, 1.0], size=positions.size)
+    jitter = rng.uniform(0.8, 1.4, size=positions.size)
+    out[positions] = mean + signs * magnitude * jitter * std
+    labels[positions] = 1
+    return out, labels
+
+
+def inject_contextual(
+    channel: np.ndarray,
+    positions: np.ndarray,
+    rng: np.random.Generator,
+    magnitude: float = 3.0,
+    context: int = 20,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Contextual point anomalies: abnormal relative to the local window.
+
+    The deviation is measured against the mean/std of the surrounding
+    ``context`` observations, so the result can be unremarkable globally
+    but clearly out of place locally.
+    """
+    out = channel.copy()
+    labels = np.zeros(channel.shape[0], dtype=np.int64)
+    time = channel.shape[0]
+    for position in positions:
+        lo = max(0, position - context)
+        hi = min(time, position + context)
+        local = channel[lo:hi]
+        local_std = local.std() + 1e-8
+        sign = rng.choice([-1.0, 1.0])
+        out[position] = local.mean() + sign * magnitude * rng.uniform(0.8, 1.4) * local_std
+        labels[position] = 1
+    return out, labels
+
+
+def inject_shapelet(
+    channel: np.ndarray,
+    segments: list[tuple[int, int]],
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shapelet anomalies: replace segments with a different basic shape.
+
+    The replacement keeps the local mean and amplitude but swaps the
+    waveform (flat line or square wave), producing the short-lived pattern
+    deviations the amplitude-based frequency mask targets.
+    """
+    out = channel.copy()
+    labels = np.zeros(channel.shape[0], dtype=np.int64)
+    for start, stop in segments:
+        segment = channel[start:stop]
+        amplitude = segment.std() + 1e-8
+        base = segment.mean()
+        length = stop - start
+        if rng.random() < 0.5:
+            shape = np.full(length, base)  # flatline
+        else:
+            period = max(2, length // 4)
+            shape = base + amplitude * np.sign(np.sin(2 * np.pi * np.arange(length) / period))
+        out[start:stop] = shape
+        labels[start:stop] = 1
+    return out, labels
+
+
+def inject_seasonal(
+    channel: np.ndarray,
+    segments: list[tuple[int, int]],
+    rng: np.random.Generator,
+    factor_range: tuple[float, float] = (2.0, 3.0),
+) -> tuple[np.ndarray, np.ndarray]:
+    """Seasonal anomalies: locally compress (speed up) the oscillation.
+
+    The segment is resampled at ``factor`` times its normal rate, changing
+    the local frequency content while preserving amplitude — the NIPS-TS-
+    Seasonal construction.
+    """
+    out = channel.copy()
+    labels = np.zeros(channel.shape[0], dtype=np.int64)
+    time = channel.shape[0]
+    for start, stop in segments:
+        factor = rng.uniform(*factor_range)
+        length = stop - start
+        source_stop = min(time, start + int(length * factor))
+        source = channel[start:source_stop]
+        resampled = np.interp(
+            np.linspace(0, source.shape[0] - 1, length),
+            np.arange(source.shape[0]),
+            source,
+        )
+        out[start:stop] = resampled
+        labels[start:stop] = 1
+    return out, labels
+
+
+def inject_trend(
+    channel: np.ndarray,
+    segments: list[tuple[int, int]],
+    rng: np.random.Generator,
+    slope_scale: float = 0.05,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Trend anomalies: add a linear drift over each segment.
+
+    The drift accumulates to several standard deviations by segment end,
+    then the series snaps back — a transient trend shift.
+    """
+    out = channel.copy()
+    labels = np.zeros(channel.shape[0], dtype=np.int64)
+    std = channel.std() + 1e-8
+    for start, stop in segments:
+        length = stop - start
+        slope = rng.choice([-1.0, 1.0]) * slope_scale * std * rng.uniform(0.8, 1.4)
+        out[start:stop] = out[start:stop] + slope * np.arange(length)
+        labels[start:stop] = 1
+    return out, labels

@@ -1,0 +1,85 @@
+"""Dataset persistence: CSV and NPZ round-trips.
+
+Lets users bring their own data into the :class:`TimeSeriesDataset`
+pipeline and export the synthetic surrogates for inspection in external
+tools.  CSV layout: one file per split (``<name>_train.csv`` etc.), one
+column per feature with a header row, plus ``<name>_test_labels.csv`` for
+the labels.  NPZ stores the whole dataset in one file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .base import TimeSeriesDataset
+
+__all__ = ["save_dataset_npz", "load_dataset_npz", "save_dataset_csv", "load_dataset_csv"]
+
+
+def save_dataset_npz(dataset: TimeSeriesDataset, path: str | Path) -> Path:
+    """Write the full dataset to one ``.npz`` archive; returns the path."""
+    path = Path(path)
+    payload = {
+        "name": np.array(dataset.name),
+        "train": dataset.train,
+        "validation": dataset.validation,
+        "test": dataset.test,
+        "test_labels": dataset.test_labels,
+    }
+    if dataset.train_labels is not None:
+        payload["train_labels"] = dataset.train_labels
+    np.savez_compressed(path, **payload)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_dataset_npz(path: str | Path) -> TimeSeriesDataset:
+    """Load a dataset written by :func:`save_dataset_npz`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        return TimeSeriesDataset(
+            name=str(archive["name"]),
+            train=archive["train"],
+            validation=archive["validation"],
+            test=archive["test"],
+            test_labels=archive["test_labels"],
+            train_labels=archive["train_labels"] if "train_labels" in archive.files else None,
+        )
+
+
+def save_dataset_csv(dataset: TimeSeriesDataset, directory: str | Path) -> Path:
+    """Write one CSV per split under ``directory``; returns the directory."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    header = ",".join(f"f{i}" for i in range(dataset.n_features))
+    for split in ("train", "validation", "test"):
+        np.savetxt(
+            directory / f"{dataset.name}_{split}.csv",
+            getattr(dataset, split),
+            delimiter=",", header=header, comments="",
+        )
+    np.savetxt(
+        directory / f"{dataset.name}_test_labels.csv",
+        dataset.test_labels, fmt="%d", header="label", comments="",
+    )
+    return directory
+
+
+def load_dataset_csv(directory: str | Path, name: str) -> TimeSeriesDataset:
+    """Load a dataset written by :func:`save_dataset_csv`."""
+    directory = Path(directory)
+
+    def read(filename: str, **kwargs) -> np.ndarray:
+        return np.loadtxt(directory / filename, delimiter=",", skiprows=1, **kwargs)
+
+    train = np.atleast_2d(read(f"{name}_train.csv"))
+    validation = np.atleast_2d(read(f"{name}_validation.csv"))
+    test = np.atleast_2d(read(f"{name}_test.csv"))
+    # A single-feature CSV loads as 1-D -> (1, time); fix the orientation.
+    if train.shape[0] == 1 and train.shape[1] > 1:
+        train, validation, test = train.T, validation.T, test.T
+    labels = np.loadtxt(directory / f"{name}_test_labels.csv", skiprows=1).astype(np.int64)
+    return TimeSeriesDataset(
+        name=name, train=train, validation=validation, test=test,
+        test_labels=np.atleast_1d(labels),
+    )

@@ -1,0 +1,62 @@
+"""Dataset registry: name -> generator, with caching.
+
+``get_dataset("MSL", scale=0.01)`` returns a CPU-scale surrogate of the
+benchmark; ``scale=1.0`` reproduces the Table II sizes.  Generators are
+deterministic in ``(seed, scale)`` and results are memoised per process so
+repeated bench invocations do not regenerate data.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import TimeSeriesDataset
+from .profiles import make_msl, make_psm, make_smap, make_smd, make_swat
+from .synthetic import make_nips_ts_global, make_nips_ts_seasonal
+
+__all__ = ["DATASET_GENERATORS", "get_dataset", "available_datasets"]
+
+DATASET_GENERATORS: dict[str, Callable[..., TimeSeriesDataset]] = {
+    "MSL": make_msl,
+    "SMAP": make_smap,
+    "PSM": make_psm,
+    "SMD": make_smd,
+    "SWaT": make_swat,
+    "NIPS-TS-Global": make_nips_ts_global,
+    "NIPS-TS-Seasonal": make_nips_ts_seasonal,
+}
+
+_CACHE: dict[tuple[str, int, float], TimeSeriesDataset] = {}
+
+
+def available_datasets() -> list[str]:
+    """Names of all registered benchmark datasets."""
+    return list(DATASET_GENERATORS)
+
+
+def get_dataset(name: str, seed: int = 0, scale: float = 1.0, cache: bool = True) -> TimeSeriesDataset:
+    """Build (or fetch from cache) a benchmark dataset by name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_datasets` (case-sensitive, paper spelling).
+    seed:
+        Generation seed; different seeds give independent realisations.
+    scale:
+        Length multiplier relative to the paper's Table II sizes.
+    cache:
+        Memoise per ``(name, seed, scale)``; disable for memory-sensitive
+        sweeps over many configurations.
+    """
+    if name not in DATASET_GENERATORS:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
+        )
+    key = (name, seed, scale)
+    if cache and key in _CACHE:
+        return _CACHE[key]
+    dataset = DATASET_GENERATORS[name](seed=seed, scale=scale)
+    if cache:
+        _CACHE[key] = dataset
+    return dataset

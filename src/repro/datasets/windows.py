@@ -1,0 +1,84 @@
+"""Windowing utilities shared by TFMAE, all baselines, and the benches.
+
+The evaluation protocol (paper Table III) feeds every method fixed-length
+windows of 100 observations.  Training uses non-overlapping windows;
+scoring also uses non-overlapping windows so each observation receives
+exactly one score, with a final overlapping window covering any tail
+shorter than the window size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sliding_windows", "non_overlapping_windows", "score_series"]
+
+
+def sliding_windows(series: np.ndarray, size: int, stride: int) -> np.ndarray:
+    """Extract windows of ``size`` at every ``stride`` along the time axis.
+
+    Parameters
+    ----------
+    series:
+        ``(time, features)`` array.
+    size, stride:
+        Window length and hop; the tail shorter than ``size`` is dropped.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(num_windows, size, features)``; empty when the series is
+        shorter than ``size``.
+    """
+    if series.ndim != 2:
+        raise ValueError(f"expected (time, features), got shape {series.shape}")
+    if size < 1 or stride < 1:
+        raise ValueError("size and stride must be positive")
+    time = series.shape[0]
+    if time < size:
+        return np.empty((0, size, series.shape[1]), dtype=series.dtype)
+    starts = range(0, time - size + 1, stride)
+    return np.stack([series[s : s + size] for s in starts])
+
+
+def non_overlapping_windows(series: np.ndarray, size: int) -> np.ndarray:
+    """Non-overlapping windows (stride == size)."""
+    return sliding_windows(series, size, stride=size)
+
+
+def score_series(series: np.ndarray, size: int, score_fn, batch_size: int = 64) -> np.ndarray:
+    """Produce one anomaly score per observation of an arbitrary series.
+
+    ``score_fn`` maps a batch of windows ``(B, size, N)`` to per-position
+    scores ``(B, size)``.  Full non-overlapping windows cover the prefix;
+    a final window aligned to the series end covers the tail, from which
+    only the previously unscored suffix is kept.  Series shorter than the
+    window are scored via a single front-padded window (edge-replicated).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(time,)`` scores aligned with the input observations.
+    """
+    time = series.shape[0]
+    scores = np.empty(time, dtype=np.float64)
+
+    if time < size:
+        pad = np.repeat(series[:1], size - time, axis=0)
+        window = np.concatenate([pad, series], axis=0)[None]
+        scores[:] = score_fn(window)[0, size - time :]
+        return scores
+
+    windows = non_overlapping_windows(series, size)
+    for start in range(0, len(windows), batch_size):
+        batch = windows[start : start + batch_size]
+        batch_scores = score_fn(batch)
+        begin = start * size
+        scores[begin : begin + batch.shape[0] * size] = batch_scores.reshape(-1)
+
+    covered = len(windows) * size
+    if covered < time:
+        tail_window = series[time - size :][None]
+        tail_scores = score_fn(tail_window)[0]
+        scores[covered:] = tail_scores[size - (time - covered) :]
+    return scores

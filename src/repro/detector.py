@@ -1,0 +1,89 @@
+"""Common anomaly-detector interface.
+
+Every method in the reproduction — TFMAE and all 14 baselines — implements
+this contract so the evaluation harness (Table III and the ablations) can
+treat them uniformly:
+
+* :meth:`BaseDetector.fit` trains on the (unlabeled) training split;
+* :meth:`BaseDetector.score` maps a series to one non-negative anomaly
+  score per observation;
+* :meth:`BaseDetector.calibrate_threshold` fixes ``delta`` so that ``r%``
+  of validation observations exceed it (paper Section V-A.4);
+* :meth:`BaseDetector.predict` applies Eq. 17.
+
+Detectors receive already z-scored data; normalisation lives in the
+dataset layer so every method sees identical inputs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .metrics.threshold import apply_threshold, ratio_threshold
+
+__all__ = ["BaseDetector"]
+
+
+class BaseDetector(ABC):
+    """Abstract anomaly detector with the shared threshold protocol."""
+
+    #: Human-readable method name used in printed tables.
+    name: str = "detector"
+
+    def __init__(self, anomaly_ratio: float = 0.9):
+        if not 0.0 < anomaly_ratio < 100.0:
+            raise ValueError(f"anomaly_ratio must be in (0, 100), got {anomaly_ratio}")
+        self.anomaly_ratio = anomaly_ratio
+        self.threshold_: float | None = None
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # to be provided by each method
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def _fit(self, train: np.ndarray) -> None:
+        """Train on the ``(time, features)`` training split."""
+
+    @abstractmethod
+    def score(self, series: np.ndarray) -> np.ndarray:
+        """Per-observation anomaly scores, shape ``(time,)``."""
+
+    # ------------------------------------------------------------------
+    # shared protocol
+    # ------------------------------------------------------------------
+    def fit(self, train: np.ndarray, validation: np.ndarray | None = None) -> "BaseDetector":
+        """Train and, when a validation split is given, calibrate ``delta``."""
+        if train.ndim != 2:
+            raise ValueError(f"train must be (time, features), got shape {train.shape}")
+        if not np.all(np.isfinite(train)):
+            raise ValueError(
+                "training data contains NaN/inf values; impute or drop them first"
+            )
+        self._fit(train)
+        self._fitted = True
+        if validation is not None:
+            self.calibrate_threshold(validation)
+        return self
+
+    def calibrate_threshold(self, validation: np.ndarray) -> float:
+        """Set ``delta`` to flag ``anomaly_ratio``% of validation points."""
+        self._require_fitted()
+        scores = self.score(validation)
+        self.threshold_ = ratio_threshold(scores, self.anomaly_ratio)
+        return self.threshold_
+
+    def predict(self, series: np.ndarray) -> np.ndarray:
+        """Binary anomaly labels via the calibrated threshold (Eq. 17)."""
+        self._require_fitted()
+        if self.threshold_ is None:
+            raise RuntimeError(
+                "threshold not calibrated; fit with a validation split or call "
+                "calibrate_threshold() first"
+            )
+        return apply_threshold(self.score(series), self.threshold_)
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError(f"{self.name} must be fit before use")

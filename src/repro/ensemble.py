@@ -1,0 +1,130 @@
+"""Score-level detector ensembling.
+
+Production deployments rarely bet on one detector: combining a
+pattern-sensitive model (TFMAE) with a cheap pointwise one (IForest)
+covers each other's blind spots.  Raw anomaly scores live on wildly
+different scales (KL divergence vs. isolation depth vs. reconstruction
+MSE), so the ensemble first maps each member's scores through a
+normaliser fit on that member's validation scores, then aggregates.
+
+Normalisers
+-----------
+``rank``
+    Empirical CDF position of the score among the calibration scores —
+    robust to arbitrary monotone scale differences (default).
+``zscore``
+    Standard score against calibration mean/std — preserves magnitude,
+    sensitive to heavy tails.
+
+Aggregators: ``mean``, ``max`` or explicit weights.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Sequence
+
+import numpy as np
+
+from .detector import BaseDetector
+
+__all__ = ["EnsembleDetector"]
+
+
+class _RankNormaliser:
+    def fit(self, scores: np.ndarray) -> "_RankNormaliser":
+        self.sorted_ = np.sort(np.asarray(scores, dtype=np.float64).reshape(-1))
+        return self
+
+    def transform(self, scores: np.ndarray) -> np.ndarray:
+        position = np.searchsorted(self.sorted_, scores, side="right")
+        return position / (self.sorted_.size + 1.0)
+
+
+class _ZScoreNormaliser:
+    def fit(self, scores: np.ndarray) -> "_ZScoreNormaliser":
+        scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+        self.mean_ = float(scores.mean())
+        self.std_ = float(scores.std()) or 1.0
+        return self
+
+    def transform(self, scores: np.ndarray) -> np.ndarray:
+        return (scores - self.mean_) / self.std_
+
+
+_NORMALISERS = {"rank": _RankNormaliser, "zscore": _ZScoreNormaliser}
+
+
+class EnsembleDetector(BaseDetector):
+    """Combine several detectors at the score level.
+
+    Parameters
+    ----------
+    members:
+        Detector instances (not yet fit).
+    normaliser:
+        ``"rank"`` (default) or ``"zscore"``.
+    aggregate:
+        ``"mean"`` or ``"max"`` over normalised member scores.
+    weights:
+        Optional per-member weights for the mean aggregator.
+    """
+
+    name = "Ensemble"
+
+    def __init__(
+        self,
+        members: Sequence[BaseDetector],
+        normaliser: Literal["rank", "zscore"] = "rank",
+        aggregate: Literal["mean", "max"] = "mean",
+        weights: Sequence[float] | None = None,
+        anomaly_ratio: float = 0.9,
+    ):
+        super().__init__(anomaly_ratio=anomaly_ratio)
+        if not members:
+            raise ValueError("ensemble needs at least one member")
+        if normaliser not in _NORMALISERS:
+            raise ValueError(f"unknown normaliser: {normaliser}")
+        if aggregate not in ("mean", "max"):
+            raise ValueError(f"unknown aggregator: {aggregate}")
+        if weights is not None:
+            if len(weights) != len(members):
+                raise ValueError("weights must match the number of members")
+            if aggregate != "mean":
+                raise ValueError("weights only apply to the mean aggregator")
+        self.members = list(members)
+        self.normaliser_kind = normaliser
+        self.aggregate = aggregate
+        self.weights = None if weights is None else np.asarray(weights, dtype=np.float64)
+        self._normalisers: list[object] = []
+        self.name = "Ensemble(" + "+".join(m.name for m in self.members) + ")"
+
+    def fit(self, train: np.ndarray, validation: np.ndarray | None = None) -> "EnsembleDetector":
+        if train.ndim != 2:
+            raise ValueError(f"train must be (time, features), got shape {train.shape}")
+        calibration = validation if validation is not None else train
+        self._normalisers = []
+        for member in self.members:
+            member.fit(train)
+            normaliser = _NORMALISERS[self.normaliser_kind]()
+            normaliser.fit(member.score(calibration))
+            self._normalisers.append(normaliser)
+        self._fitted = True
+        if validation is not None:
+            self.calibrate_threshold(validation)
+        return self
+
+    def _fit(self, train: np.ndarray) -> None:  # pragma: no cover - fit() overridden
+        raise NotImplementedError
+
+    def score(self, series: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        stacked = np.stack([
+            normaliser.transform(member.score(series))
+            for member, normaliser in zip(self.members, self._normalisers)
+        ])
+        if self.aggregate == "max":
+            return stacked.max(axis=0)
+        if self.weights is not None:
+            weights = self.weights / self.weights.sum()
+            return (stacked * weights[:, None]).sum(axis=0)
+        return stacked.mean(axis=0)

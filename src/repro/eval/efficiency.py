@@ -1,0 +1,53 @@
+"""Efficiency measurement for the Fig. 10 comparison.
+
+The paper plots F1 vs. training speed vs. GPU memory on SMD.  The CPU
+substitute measures wall-clock training throughput and peak Python heap
+allocation via ``tracemalloc`` — the *relative* ordering across methods is
+what Fig. 10 argues about, and that survives the substitution.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass
+
+from ..datasets.base import TimeSeriesDataset
+from ..detector import BaseDetector
+
+__all__ = ["EfficiencyProfile", "profile_detector"]
+
+
+@dataclass(frozen=True)
+class EfficiencyProfile:
+    """Training cost measurements for one detector."""
+
+    detector: str
+    fit_seconds: float
+    peak_memory_mb: float
+    throughput_obs_per_s: float
+
+    def row(self) -> dict[str, object]:
+        return {
+            "detector": self.detector,
+            "fit_s": round(self.fit_seconds, 3),
+            "peak_MB": round(self.peak_memory_mb, 1),
+            "obs_per_s": round(self.throughput_obs_per_s, 1),
+        }
+
+
+def profile_detector(detector: BaseDetector, dataset: TimeSeriesDataset) -> EfficiencyProfile:
+    """Measure training wall-clock and peak heap for one detector."""
+    data = dataset.normalised()
+    tracemalloc.start()
+    start = time.perf_counter()
+    detector.fit(data.train, data.validation)
+    fit_seconds = time.perf_counter() - start
+    _, peak_bytes = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return EfficiencyProfile(
+        detector=detector.name,
+        fit_seconds=fit_seconds,
+        peak_memory_mb=peak_bytes / (1024.0 * 1024.0),
+        throughput_obs_per_s=data.train.shape[0] / max(fit_seconds, 1e-9),
+    )

@@ -1,0 +1,19 @@
+"""Future-work extensions named in the paper's conclusion: forecasting
+and classification on the TFMAE machinery."""
+
+from .classification import SoftmaxProbe, TFMAEClassifier
+from .forecasting import (
+    ForecastConfig,
+    TFMAEForecaster,
+    persistence_forecast,
+    seasonal_naive_forecast,
+)
+
+__all__ = [
+    "ForecastConfig",
+    "TFMAEForecaster",
+    "persistence_forecast",
+    "seasonal_naive_forecast",
+    "SoftmaxProbe",
+    "TFMAEClassifier",
+]

@@ -1,0 +1,108 @@
+"""Window classification on frozen TFMAE representations — the paper's
+second stated future-work direction.
+
+A fitted TFMAE model is a self-supervised representation learner: its two
+branch outputs summarise a window from complementary temporal and
+frequency views.  This module freezes those representations and trains a
+lightweight softmax (multinomial logistic regression) head on labelled
+windows — the standard linear-probe protocol for evaluating
+self-supervised encoders.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.model import TFMAEModel
+from ..nn import no_grad
+
+__all__ = ["SoftmaxProbe", "TFMAEClassifier"]
+
+
+class SoftmaxProbe:
+    """Multinomial logistic regression trained with full-batch gradient
+    descent on numpy (no autograd needed for a linear model)."""
+
+    def __init__(self, n_classes: int, learning_rate: float = 0.5,
+                 iterations: int = 300, l2: float = 1e-4, seed: int = 0):
+        if n_classes < 2:
+            raise ValueError("need at least two classes")
+        self.n_classes = n_classes
+        self.learning_rate = learning_rate
+        self.iterations = iterations
+        self.l2 = l2
+        self.seed = seed
+        self.weights_: np.ndarray | None = None
+        self.bias_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "SoftmaxProbe":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got {features.shape}")
+        if labels.min() < 0 or labels.max() >= self.n_classes:
+            raise ValueError("labels out of range for configured n_classes")
+        n, d = features.shape
+        rng = np.random.default_rng(self.seed)
+        self.weights_ = rng.normal(0, 0.01, size=(d, self.n_classes))
+        self.bias_ = np.zeros(self.n_classes)
+        one_hot = np.eye(self.n_classes)[labels]
+        for _ in range(self.iterations):
+            probabilities = self.predict_proba(features)
+            gradient_logits = (probabilities - one_hot) / n
+            grad_w = features.T @ gradient_logits + self.l2 * self.weights_
+            grad_b = gradient_logits.sum(axis=0)
+            self.weights_ -= self.learning_rate * grad_w
+            self.bias_ -= self.learning_rate * grad_b
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self.weights_ is None:
+            raise RuntimeError("probe must be fit first")
+        logits = features @ self.weights_ + self.bias_
+        logits -= logits.max(axis=1, keepdims=True)
+        exp = np.exp(logits)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self.predict_proba(features).argmax(axis=1)
+
+
+class TFMAEClassifier:
+    """Linear probe over frozen TFMAE window representations.
+
+    Parameters
+    ----------
+    model:
+        A (typically fitted) :class:`~repro.core.model.TFMAEModel`; its
+        parameters are never updated here.
+    n_classes:
+        Number of window classes.
+    """
+
+    def __init__(self, model: TFMAEModel, n_classes: int, **probe_kwargs):
+        self.model = model
+        self.probe = SoftmaxProbe(n_classes, **probe_kwargs)
+
+    def representations(self, windows: np.ndarray) -> np.ndarray:
+        """Frozen features: time-averaged branch outputs, concatenated."""
+        if windows.ndim != 3:
+            raise ValueError(f"expected (batch, time, features), got {windows.shape}")
+        with no_grad():
+            temporal, frequency = self.model(windows)
+        parts = []
+        if temporal is not None:
+            parts.append(temporal.data.mean(axis=1))
+        if frequency is not None:
+            parts.append(frequency.data.mean(axis=1))
+        return np.concatenate(parts, axis=1)
+
+    def fit(self, windows: np.ndarray, labels: np.ndarray) -> "TFMAEClassifier":
+        self.probe.fit(self.representations(windows), labels)
+        return self
+
+    def predict(self, windows: np.ndarray) -> np.ndarray:
+        return self.probe.predict(self.representations(windows))
+
+    def accuracy(self, windows: np.ndarray, labels: np.ndarray) -> float:
+        return float((self.predict(windows) == np.asarray(labels)).mean())

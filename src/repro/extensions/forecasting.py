@@ -1,0 +1,160 @@
+"""Masked-autoencoder forecasting — the paper's stated future work.
+
+The conclusion of the paper proposes extending TFMAE to time series
+*prediction*.  The temporal masked autoencoder already contains the
+machinery: forecasting is masking with a **fixed** mask over the horizon
+instead of the CoV-driven mask over suspected anomalies.  The encoder
+digests the context, the decoder fills learnable mask tokens placed at
+the future positions (with their positional encodings), and an output
+head maps the decoded representations back to values.
+
+Also provides the two standard naive references (persistence and seasonal
+naive) so forecast quality is measured against meaningful floors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import nn
+from ..datasets.windows import sliding_windows
+from ..nn import Module, Parameter, Tensor, no_grad
+from ..nn import functional as F
+from ..nn import init
+from ..nn.optim import Adam
+from ..nn.transformer import TransformerStack, sinusoidal_positional_encoding
+
+__all__ = ["ForecastConfig", "TFMAEForecaster", "persistence_forecast", "seasonal_naive_forecast"]
+
+
+@dataclass(frozen=True)
+class ForecastConfig:
+    """Hyper-parameters for the masked-autoencoder forecaster."""
+
+    context_length: int = 96
+    horizon: int = 24
+    d_model: int = 32
+    num_layers: int = 2
+    num_heads: int = 4
+    epochs: int = 5
+    batch_size: int = 16
+    learning_rate: float = 1e-3
+    stride: int = 8            # training-window hop
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.context_length < 1 or self.horizon < 1:
+            raise ValueError("context_length and horizon must be positive")
+        if self.d_model % self.num_heads != 0:
+            raise ValueError("d_model must be divisible by num_heads")
+
+    @property
+    def window_size(self) -> int:
+        return self.context_length + self.horizon
+
+
+class _ForecastModel(Module):
+    def __init__(self, n_features: int, config: ForecastConfig, rng: np.random.Generator):
+        super().__init__()
+        self.config = config
+        self.projection = nn.Linear(n_features, config.d_model, rng)
+        self.mask_token = Parameter(init.normal((config.d_model,), rng), name="m_T")
+        self.encoder = TransformerStack(config.d_model, config.num_layers,
+                                        config.num_heads, rng)
+        self.decoder = TransformerStack(config.d_model, config.num_layers,
+                                        config.num_heads, rng)
+        self.head = nn.Linear(config.d_model, n_features, rng)
+        self._pe = sinusoidal_positional_encoding(config.window_size, config.d_model)
+
+    def forecast(self, context: np.ndarray) -> Tensor:
+        """Predict the horizon from a ``(batch, context, features)`` array."""
+        config = self.config
+        batch = context.shape[0]
+        encoded = self.encoder(
+            self.projection(Tensor(context)) + Tensor(self._pe[: config.context_length])
+        )
+        future = self.mask_token + Tensor(self._pe[config.context_length :])
+        future = future.reshape(1, config.horizon, config.d_model) * Tensor(
+            np.ones((batch, 1, 1))
+        )
+        decoded = self.decoder(Tensor.concat([encoded, future], axis=1))
+        return self.head(decoded[:, config.context_length :, :])
+
+    def loss(self, windows: np.ndarray) -> Tensor:
+        config = self.config
+        context = windows[:, : config.context_length, :]
+        target = windows[:, config.context_length :, :]
+        return F.mse_loss(self.forecast(context), Tensor(target))
+
+
+class TFMAEForecaster:
+    """Fixed-mask temporal autoencoder forecaster.
+
+    >>> forecaster = TFMAEForecaster(ForecastConfig(context_length=48, horizon=12))
+    >>> forecaster.fit(train_series)              # doctest: +SKIP
+    >>> future = forecaster.predict(recent_context)   # doctest: +SKIP
+    """
+
+    def __init__(self, config: ForecastConfig | None = None):
+        self.config = config if config is not None else ForecastConfig()
+        self.model: _ForecastModel | None = None
+        self.loss_history: list[float] = []
+
+    def fit(self, series: np.ndarray) -> "TFMAEForecaster":
+        """Train on a ``(time, features)`` series."""
+        if series.ndim != 2:
+            raise ValueError(f"series must be (time, features), got {series.shape}")
+        config = self.config
+        windows = sliding_windows(series, config.window_size, config.stride)
+        if windows.shape[0] == 0:
+            raise ValueError(
+                f"series of length {series.shape[0]} is shorter than "
+                f"context + horizon = {config.window_size}"
+            )
+        rng = np.random.default_rng(config.seed)
+        self.model = _ForecastModel(series.shape[1], config, rng)
+        optimizer = Adam(self.model.parameters(), lr=config.learning_rate, grad_clip=5.0)
+        self.model.train()
+        for _ in range(config.epochs):
+            order = rng.permutation(windows.shape[0])
+            for start in range(0, len(order), config.batch_size):
+                batch = windows[order[start : start + config.batch_size]]
+                loss = self.model.loss(batch)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                self.loss_history.append(loss.item())
+        self.model.eval()
+        return self
+
+    def predict(self, context: np.ndarray) -> np.ndarray:
+        """Forecast ``horizon`` steps from a ``(context_length, features)``
+        (or batched) context."""
+        if self.model is None:
+            raise RuntimeError("forecaster must be fit before predict")
+        single = context.ndim == 2
+        batch = context[None] if single else context
+        if batch.shape[1] != self.config.context_length:
+            raise ValueError(
+                f"context length {batch.shape[1]} != configured "
+                f"{self.config.context_length}"
+            )
+        with no_grad():
+            forecast = self.model.forecast(batch).data
+        return forecast[0] if single else forecast
+
+
+def persistence_forecast(context: np.ndarray, horizon: int) -> np.ndarray:
+    """Repeat the last observed value over the horizon."""
+    return np.repeat(context[-1:], horizon, axis=0)
+
+
+def seasonal_naive_forecast(context: np.ndarray, horizon: int, period: int) -> np.ndarray:
+    """Repeat the last full season over the horizon."""
+    if period < 1 or period > context.shape[0]:
+        raise ValueError(f"period must be in [1, len(context)], got {period}")
+    season = context[-period:]
+    repeats = int(np.ceil(horizon / period))
+    return np.tile(season, (repeats, 1))[:horizon]

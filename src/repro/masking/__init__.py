@@ -1,0 +1,31 @@
+"""Temporal and frequency masking strategies (the paper's Section IV-A)."""
+
+from .frequency import (
+    FrequencyMasker,
+    FrequencyMaskResult,
+    FrequencyMaskStrategy,
+    amplitude_spectrum,
+)
+from .temporal import (
+    TemporalMasker,
+    TemporalMaskResult,
+    TemporalMaskStrategy,
+    coefficient_of_variation_fft,
+    coefficient_of_variation_naive,
+    rolling_std,
+    top_indices,
+)
+
+__all__ = [
+    "TemporalMasker",
+    "TemporalMaskResult",
+    "TemporalMaskStrategy",
+    "coefficient_of_variation_naive",
+    "coefficient_of_variation_fft",
+    "rolling_std",
+    "top_indices",
+    "FrequencyMasker",
+    "FrequencyMaskResult",
+    "FrequencyMaskStrategy",
+    "amplitude_spectrum",
+]

@@ -1,0 +1,192 @@
+"""Amplitude-based frequency masking (paper Section IV-A.2, Eq. 6-10).
+
+The series is transformed with the DFT (Eq. 6); each frequency bin's
+amplitude (Eq. 7) measures how long-lived and strong the corresponding
+pattern is.  The ``r%`` *lowest-amplitude* bins — short-lived patterns that
+deviate from the dominant behaviour, i.e. likely pattern anomalies — are
+replaced with a learnable complex token before inverting back to the time
+domain (Eq. 9-10).
+
+Autograd integration
+--------------------
+The FFT itself runs outside the autograd graph; gradients only need to
+reach the learnable mask token ``m^(F)``.  Because the IDFT is linear, the
+time-domain result decomposes exactly as::
+
+    idft(X_masked)(t) = fixed(t) + Re(m) * cos_basis(t) - Im(m) * sin_basis(t)
+
+where ``fixed`` is the IDFT of the spectrum with masked bins zeroed, and
+``cos_basis``/``sin_basis`` collect ``sum_i exp(j w_i t) / |S|`` over the
+masked bins of each feature.  The masker returns those three real arrays;
+the model combines them with its ``m^(F)`` parameters using ordinary
+tensor operations, so gradients reach the token while the transform stays
+in fast numpy FFT code.
+
+A replaced spectrum generally loses conjugate symmetry, so the exact IDFT
+is complex; following the reference implementation we keep the real part
+(``fixed``, ``cos_basis`` and ``sin_basis`` are all real parts of the
+corresponding complex sums).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from .temporal import top_indices
+
+__all__ = [
+    "amplitude_spectrum",
+    "FrequencyMaskResult",
+    "FrequencyMasker",
+    "FrequencyMaskStrategy",
+]
+
+FrequencyMaskStrategy = Literal["amplitude", "high", "random", "none"]
+
+
+def amplitude_spectrum(series: np.ndarray) -> np.ndarray:
+    """Amplitude of the full DFT along the time axis (Eq. 6-7).
+
+    Parameters
+    ----------
+    series:
+        ``(batch, time, features)`` real array.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(batch, time, features)`` non-negative amplitudes
+        ``sqrt(Re^2 + Im^2)`` per frequency bin.
+    """
+    spectrum = np.fft.fft(series, axis=1)
+    return np.abs(spectrum)
+
+
+@dataclass(frozen=True)
+class FrequencyMaskResult:
+    """Outcome of frequency masking on a batch of windows.
+
+    Attributes
+    ----------
+    fixed:
+        ``(batch, time, features)`` real part of the IDFT of the spectrum
+        with masked bins zeroed — the contribution of unmasked frequencies.
+    cos_basis, sin_basis:
+        ``(batch, time, features)`` coefficients multiplying the real and
+        (negated) imaginary parts of the learnable token (see module
+        docstring).
+    masked_bins:
+        ``(batch, I_F, features)`` integer frequency indices masked per
+        feature.
+    amplitude:
+        ``(batch, time, features)`` amplitude spectrum used for selection.
+    """
+
+    fixed: np.ndarray
+    cos_basis: np.ndarray
+    sin_basis: np.ndarray
+    masked_bins: np.ndarray
+    amplitude: np.ndarray
+
+    @property
+    def num_masked(self) -> int:
+        return self.masked_bins.shape[1]
+
+
+class FrequencyMasker:
+    """Amplitude-based frequency masking with pluggable criteria.
+
+    Parameters
+    ----------
+    ratio:
+        Masking ratio ``r^(F)`` in percent (0-100).
+    strategy:
+        ``"amplitude"`` (paper default: mask smallest amplitudes),
+        ``"high"`` (HMF ablation: mask highest frequencies), ``"random"``
+        (RMF ablation) or ``"none"``.
+    """
+
+    def __init__(
+        self,
+        ratio: float,
+        strategy: FrequencyMaskStrategy = "amplitude",
+        rng: np.random.Generator | None = None,
+    ):
+        if not 0.0 <= ratio <= 100.0:
+            raise ValueError(f"ratio must be in [0, 100], got {ratio}")
+        if strategy not in ("amplitude", "high", "random", "none"):
+            raise ValueError(f"unknown frequency mask strategy: {strategy}")
+        self.ratio = ratio
+        self.strategy = strategy
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def num_masked(self, length: int) -> int:
+        """``I^(F) = floor(r% * |S|)`` (Eq. 8)."""
+        if self.strategy == "none":
+            return 0
+        return int(self.ratio / 100.0 * length)
+
+    def _select_bins(self, amplitude: np.ndarray, count: int) -> np.ndarray:
+        """Choose masked bins per (batch, feature); returns (batch, count, features)."""
+        batch, time, features = amplitude.shape
+        if self.strategy == "random":
+            scores = self.rng.random((batch, time, features))
+        elif self.strategy == "high":
+            # Highest angular frequency = bins closest to the Nyquist bin
+            # (the DFT is conjugate-symmetric around time//2).
+            distance_to_nyquist = np.abs(np.arange(time) - time / 2.0)
+            scores = -distance_to_nyquist[None, :, None] * np.ones((batch, 1, features))
+        else:  # "amplitude": mask the smallest amplitudes (Eq. 8: TopIndex(-a))
+            scores = -amplitude
+        # top_indices works on the trailing axis; move time last.
+        per_feature = np.swapaxes(scores, 1, 2)  # (batch, features, time)
+        selected = top_indices(per_feature, count)  # (batch, features, count)
+        return np.swapaxes(selected, 1, 2)  # (batch, count, features)
+
+    def __call__(self, windows: np.ndarray) -> FrequencyMaskResult:
+        """Mask a batch of windows shaped ``(batch, time, features)``."""
+        if windows.ndim != 3:
+            raise ValueError(f"expected (batch, time, features), got {windows.shape}")
+        batch, time, features = windows.shape
+        spectrum = np.fft.fft(windows, axis=1)
+        amplitude = np.abs(spectrum)
+        count = self.num_masked(time)
+
+        if count == 0:
+            return FrequencyMaskResult(
+                fixed=windows.astype(np.float64),
+                cos_basis=np.zeros_like(windows, dtype=np.float64),
+                sin_basis=np.zeros_like(windows, dtype=np.float64),
+                masked_bins=np.zeros((batch, 0, features), dtype=np.int64),
+                amplitude=amplitude,
+            )
+
+        masked_bins = self._select_bins(amplitude, count)
+
+        # Zero out masked bins, keep the rest (Eq. 9 with m = 0 for now).
+        bin_mask = np.zeros((batch, time, features), dtype=bool)
+        rows = np.arange(batch)[:, None, None]
+        cols = np.arange(features)[None, None, :]
+        bin_mask[rows, masked_bins, cols] = True
+        kept = np.where(bin_mask, 0.0, spectrum)
+        fixed = np.fft.ifft(kept, axis=1).real
+
+        # Basis for the learnable token: sum over masked bins of
+        # exp(j*2*pi*i*t/|S|) / |S| per feature (real and imaginary parts).
+        # Computed as the IDFT of the bin-indicator, which numpy evaluates
+        # in O(|S| log |S|).
+        indicator = bin_mask.astype(np.complex128)
+        token_response = np.fft.ifft(indicator, axis=1)
+        cos_basis = token_response.real
+        sin_basis = token_response.imag
+
+        return FrequencyMaskResult(
+            fixed=fixed,
+            cos_basis=cos_basis,
+            sin_basis=sin_basis,
+            masked_bins=masked_bins,
+            amplitude=amplitude,
+        )

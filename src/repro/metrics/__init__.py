@@ -1,0 +1,36 @@
+"""Evaluation metrics: detection accuracy, thresholding, score distributions."""
+
+from .classification import (
+    DetectionMetrics,
+    anomaly_segments,
+    evaluate_detection,
+    point_adjust,
+    precision_recall_f1,
+)
+from .distribution import cdf_gap, empirical_cdf, ks_distance
+from .evt import pot_threshold
+from .postprocess import debounce_alarms, ewma_smooth, moving_average_smooth
+from .range_based import range_precision_recall
+from .ranking import average_precision, roc_auc
+from .threshold import apply_threshold, best_f1_threshold, ratio_threshold
+
+__all__ = [
+    "DetectionMetrics",
+    "anomaly_segments",
+    "point_adjust",
+    "precision_recall_f1",
+    "evaluate_detection",
+    "ratio_threshold",
+    "apply_threshold",
+    "best_f1_threshold",
+    "empirical_cdf",
+    "cdf_gap",
+    "ks_distance",
+    "roc_auc",
+    "average_precision",
+    "pot_threshold",
+    "range_precision_recall",
+    "ewma_smooth",
+    "moving_average_smooth",
+    "debounce_alarms",
+]

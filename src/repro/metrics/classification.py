@@ -1,0 +1,100 @@
+"""Detection metrics: precision, recall, F1 and the point-adjustment protocol.
+
+The paper (Section V-A.2) follows the standard point-adjustment (PA)
+evaluation of Xu et al. / Su et al.: if any observation inside a
+contiguous ground-truth anomaly segment is detected, the entire segment
+counts as detected.  Metrics are then computed on the adjusted
+predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "point_adjust",
+    "precision_recall_f1",
+    "DetectionMetrics",
+    "evaluate_detection",
+    "anomaly_segments",
+]
+
+
+@dataclass(frozen=True)
+class DetectionMetrics:
+    """Precision/recall/F1 triple, in fractions (not percent)."""
+
+    precision: float
+    recall: float
+    f1: float
+
+    def as_percent(self) -> tuple[float, float, float]:
+        return (100.0 * self.precision, 100.0 * self.recall, 100.0 * self.f1)
+
+    def __str__(self) -> str:
+        p, r, f1 = self.as_percent()
+        return f"P={p:.2f}% R={r:.2f}% F1={f1:.2f}%"
+
+
+def anomaly_segments(labels: np.ndarray) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` runs of 1s in a binary label array."""
+    labels = np.asarray(labels).astype(bool)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    padded = np.concatenate([[False], labels, [False]])
+    changes = np.flatnonzero(padded[1:] != padded[:-1])
+    return [(int(changes[i]), int(changes[i + 1])) for i in range(0, len(changes), 2)]
+
+
+def point_adjust(predictions: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Apply the point-adjustment protocol.
+
+    For every contiguous ground-truth anomaly segment that contains at
+    least one positive prediction, mark the whole segment as predicted.
+    Predictions outside labelled segments are left unchanged.
+
+    Returns a new array; inputs are not modified.
+    """
+    predictions = np.asarray(predictions).astype(bool)
+    labels = np.asarray(labels).astype(bool)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"shape mismatch: predictions {predictions.shape} vs labels {labels.shape}"
+        )
+    adjusted = predictions.copy()
+    for start, stop in anomaly_segments(labels):
+        if adjusted[start:stop].any():
+            adjusted[start:stop] = True
+    return adjusted.astype(np.int64)
+
+
+def precision_recall_f1(predictions: np.ndarray, labels: np.ndarray) -> DetectionMetrics:
+    """Pointwise precision/recall/F1 of binary predictions."""
+    predictions = np.asarray(predictions).astype(bool)
+    labels = np.asarray(labels).astype(bool)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"shape mismatch: predictions {predictions.shape} vs labels {labels.shape}"
+        )
+    true_positive = float(np.sum(predictions & labels))
+    predicted_positive = float(predictions.sum())
+    actual_positive = float(labels.sum())
+    precision = true_positive / predicted_positive if predicted_positive else 0.0
+    recall = true_positive / actual_positive if actual_positive else 0.0
+    if precision + recall == 0.0:
+        return DetectionMetrics(precision, recall, 0.0)
+    f1 = 2.0 * precision * recall / (precision + recall)
+    return DetectionMetrics(precision, recall, f1)
+
+
+def evaluate_detection(
+    predictions: np.ndarray,
+    labels: np.ndarray,
+    adjust: bool = True,
+) -> DetectionMetrics:
+    """Full paper protocol: optional point adjustment, then P/R/F1."""
+    if adjust:
+        predictions = point_adjust(predictions, labels)
+    return precision_recall_f1(predictions, labels)

@@ -1,0 +1,73 @@
+"""Anomaly-score post-processing.
+
+Raw per-observation scores are noisy; deployments commonly smooth them
+before thresholding and de-bounce alarms so one incident does not page
+forty times.  These utilities are deliberately detector-agnostic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .classification import anomaly_segments
+
+__all__ = ["ewma_smooth", "moving_average_smooth", "debounce_alarms"]
+
+
+def ewma_smooth(scores: np.ndarray, alpha: float = 0.2) -> np.ndarray:
+    """Exponentially weighted moving average of the score stream.
+
+    ``alpha`` is the weight of the newest score; smaller = smoother.
+    Causal (uses only past scores), so it is streaming-safe.
+    """
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    smoothed = np.empty_like(scores)
+    state = scores[0] if scores.size else 0.0
+    for index, value in enumerate(scores):
+        state = alpha * value + (1.0 - alpha) * state
+        smoothed[index] = state
+    return smoothed
+
+
+def moving_average_smooth(scores: np.ndarray, window: int = 5) -> np.ndarray:
+    """Trailing moving average with edge-shortened windows (causal)."""
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    cumulative = np.cumsum(scores)
+    out = np.empty_like(scores)
+    for index in range(scores.size):
+        lo = max(0, index - window + 1)
+        total = cumulative[index] - (cumulative[lo - 1] if lo > 0 else 0.0)
+        out[index] = total / (index - lo + 1)
+    return out
+
+
+def debounce_alarms(
+    alarms: np.ndarray,
+    merge_gap: int = 5,
+    min_length: int = 1,
+) -> np.ndarray:
+    """Clean a binary alarm stream for paging.
+
+    Merges alarm runs separated by fewer than ``merge_gap`` quiet steps
+    (one incident, not several) and drops runs shorter than
+    ``min_length`` (blips).
+    """
+    alarms = np.asarray(alarms).astype(bool)
+    if merge_gap < 0 or min_length < 1:
+        raise ValueError("merge_gap must be >= 0 and min_length >= 1")
+    segments = anomaly_segments(alarms)
+    merged: list[tuple[int, int]] = []
+    for start, stop in segments:
+        if merged and start - merged[-1][1] <= merge_gap:
+            merged[-1] = (merged[-1][0], stop)
+        else:
+            merged.append((start, stop))
+    out = np.zeros(alarms.shape[0], dtype=np.int64)
+    for start, stop in merged:
+        if stop - start >= min_length:
+            out[start:stop] = 1
+    return out

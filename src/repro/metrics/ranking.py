@@ -1,0 +1,60 @@
+"""Threshold-free ranking metrics: ROC-AUC and average precision.
+
+The paper reports P/R/F1 at a calibrated threshold; ranking metrics are
+the standard complement when comparing score quality independent of the
+threshold protocol, and the ablation analyses in this reproduction use
+them to separate "worse scores" from "worse threshold transfer".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["roc_auc", "average_precision"]
+
+
+def _validate(scores: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    labels = np.asarray(labels).reshape(-1).astype(bool)
+    if scores.shape != labels.shape:
+        raise ValueError(f"scores {scores.shape} and labels {labels.shape} must align")
+    if labels.all() or not labels.any():
+        raise ValueError("labels must contain both classes")
+    return scores, labels
+
+
+def roc_auc(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Area under the ROC curve via the rank (Mann-Whitney) formulation.
+
+    Ties receive the usual half-credit through midranks.
+    """
+    scores, labels = _validate(scores, labels)
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty_like(order, dtype=np.float64)
+    sorted_scores = scores[order]
+    # Midranks for tied groups.
+    position = 0
+    while position < len(sorted_scores):
+        stop = position
+        while stop + 1 < len(sorted_scores) and sorted_scores[stop + 1] == sorted_scores[position]:
+            stop += 1
+        ranks[order[position : stop + 1]] = 0.5 * (position + stop) + 1.0
+        position = stop + 1
+    n_pos = labels.sum()
+    n_neg = labels.size - n_pos
+    rank_sum = ranks[labels].sum()
+    return float((rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg))
+
+
+def average_precision(scores: np.ndarray, labels: np.ndarray) -> float:
+    """Average precision (area under the precision-recall curve).
+
+    Computed as the sum over positives of precision at each positive,
+    descending by score (ties broken stably).
+    """
+    scores, labels = _validate(scores, labels)
+    order = np.argsort(-scores, kind="mergesort")
+    sorted_labels = labels[order]
+    cumulative_hits = np.cumsum(sorted_labels)
+    precision_at_k = cumulative_hits / np.arange(1, labels.size + 1)
+    return float(precision_at_k[sorted_labels].sum() / sorted_labels.sum())

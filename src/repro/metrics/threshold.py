@@ -1,0 +1,65 @@
+"""Threshold selection.
+
+The paper pre-determines the threshold ``delta`` so that ``r%`` of the
+(validation) data is flagged anomalous (Section V-A.4), with ``r`` chosen
+per dataset.  A best-F1 oracle sweep is also provided for analysis — it is
+never used in the headline tables, only to measure how much the threshold
+choice costs each method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .classification import evaluate_detection
+
+__all__ = ["ratio_threshold", "apply_threshold", "best_f1_threshold"]
+
+
+def ratio_threshold(scores: np.ndarray, anomaly_ratio: float) -> float:
+    """Threshold flagging the top ``anomaly_ratio`` percent of ``scores``.
+
+    Parameters
+    ----------
+    scores:
+        Anomaly scores from the validation (or combined train+validation)
+        split.
+    anomaly_ratio:
+        Percentage ``r`` in (0, 100); e.g. ``0.9`` flags the highest 0.9%.
+    """
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    if scores.size == 0:
+        raise ValueError("cannot derive a threshold from empty scores")
+    if not 0.0 < anomaly_ratio < 100.0:
+        raise ValueError(f"anomaly_ratio must be in (0, 100), got {anomaly_ratio}")
+    return float(np.percentile(scores, 100.0 - anomaly_ratio))
+
+
+def apply_threshold(scores: np.ndarray, threshold: float) -> np.ndarray:
+    """Binary predictions: 1 where ``score >= threshold`` (paper Eq. 17)."""
+    return (np.asarray(scores) >= threshold).astype(np.int64)
+
+
+def best_f1_threshold(
+    scores: np.ndarray,
+    labels: np.ndarray,
+    num_candidates: int = 200,
+    adjust: bool = True,
+) -> tuple[float, float]:
+    """Oracle threshold maximising (point-adjusted) F1.
+
+    Sweeps ``num_candidates`` quantiles of the score distribution and
+    returns ``(threshold, f1)``.  For analysis only — it peeks at labels.
+    """
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    labels = np.asarray(labels).reshape(-1)
+    if scores.shape != labels.shape:
+        raise ValueError("scores and labels must be aligned")
+    quantiles = np.linspace(0.0, 100.0, num_candidates, endpoint=False)
+    best = (float(scores.max()) + 1.0, 0.0)
+    for q in quantiles:
+        threshold = float(np.percentile(scores, q))
+        metrics = evaluate_detection(apply_threshold(scores, threshold), labels, adjust=adjust)
+        if metrics.f1 > best[1]:
+            best = (threshold, metrics.f1)
+    return best

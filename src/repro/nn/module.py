@@ -1,0 +1,161 @@
+"""Module and parameter abstractions for the numpy neural-network substrate.
+
+A :class:`Module` owns :class:`Parameter` leaves and child modules, and can
+enumerate them recursively for the optimiser and for (de)serialisation —
+the same contract as ``torch.nn.Module`` reduced to what the reproduction
+needs.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+@contextmanager
+def frozen(module: "Module"):
+    """Temporarily exclude ``module``'s parameters from the autograd graph.
+
+    Operations executed inside the block treat the parameters as
+    constants, so a combined adversarial loss can include a generator term
+    that flows *through* a discriminator without updating it — the
+    single-backward equivalent of alternating GAN optimisers, used by the
+    BeatGAN/DAEMON/TranAD baselines.
+    """
+    params = list(module.parameters())
+    saved = [p.requires_grad for p in params]
+    for p in params:
+        p.requires_grad = False
+    try:
+        yield module
+    finally:
+        for p, flag in zip(params, saved):
+            p.requires_grad = flag
+
+__all__ = ["Parameter", "Module", "frozen"]
+
+
+class Parameter(Tensor):
+    """A tensor registered as a learnable leaf of a module tree."""
+
+    def __init__(self, data, name: str | None = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural-network modules.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; registration is automatic via ``__setattr__``.  Call the
+    module like a function to invoke :meth:`forward`.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield all parameters of this module and its descendants."""
+        for param in self._parameters.values():
+            yield param
+        for child in self._modules.values():
+            yield from child.parameters()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar learnable parameters."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # mode and gradient management
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # ------------------------------------------------------------------
+    # state dict (serialisation)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> "OrderedDict[str, np.ndarray]":
+        """Flat mapping of parameter names to array copies."""
+        return OrderedDict((name, param.data.copy()) for name, param in self.named_parameters())
+
+    def load_state_dict(self, state: dict) -> None:
+        """Load arrays produced by :meth:`state_dict` in-place.
+
+        Raises
+        ------
+        KeyError
+            If a parameter is missing from ``state``.
+        ValueError
+            On any shape mismatch.
+        """
+        for name, param in self.named_parameters():
+            if name not in state:
+                raise KeyError(f"missing parameter in state dict: {name}")
+            value = np.asarray(state[name])
+            if value.shape != param.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: expected {param.shape}, got {value.shape}"
+                )
+            param.data = value.astype(param.data.dtype)
+
+    # ------------------------------------------------------------------
+    # call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def freeze(self) -> "Module":
+        """Permanently stop gradient flow into this module's parameters.
+
+        Used by the GPT4TS baseline, which keeps its Transformer backbone
+        frozen and trains only the input/output projections and layer
+        norms.
+        """
+        for param in self.parameters():
+            param.requires_grad = False
+        return self
+
+    def __repr__(self) -> str:
+        child_lines = [f"  ({name}): {child!r}" for name, child in self._modules.items()]
+        body = "\n".join(child_lines)
+        if body:
+            return f"{type(self).__name__}(\n{body}\n)"
+        return f"{type(self).__name__}()"

@@ -1,0 +1,29 @@
+"""Model checkpointing via numpy ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_model", "load_model"]
+
+
+def save_model(module: Module, path: str | Path) -> None:
+    """Write the module's state dict to ``path`` (``.npz`` appended if absent)."""
+    path = Path(path)
+    state = module.state_dict()
+    # numpy rejects '/' in npz member names on some versions; keys use '.' already.
+    np.savez(path, **{name: array for name, array in state.items()})
+
+
+def load_model(module: Module, path: str | Path) -> Module:
+    """Load a checkpoint written by :func:`save_model` into ``module``."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(".npz").exists():
+        path = path.with_suffix(".npz")
+    with np.load(path) as archive:
+        module.load_state_dict({name: archive[name] for name in archive.files})
+    return module

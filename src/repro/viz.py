@@ -1,0 +1,80 @@
+"""Terminal visualisation: ASCII rendering of series, scores and alarms.
+
+matplotlib is not a dependency of this reproduction; operators inspecting
+an incident from a shell still need to *see* the signal.  These helpers
+render a channel, its anomaly scores and the threshold as fixed-width
+text, the same style the Figure 8 bench uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sparkline", "render_series", "render_detection"]
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def sparkline(values: np.ndarray, width: int = 80) -> str:
+    """One-line intensity plot of ``values`` resampled to ``width`` chars."""
+    values = np.asarray(values, dtype=np.float64).reshape(-1)
+    if values.size == 0:
+        raise ValueError("cannot render an empty series")
+    resampled = np.interp(
+        np.linspace(0, values.size - 1, width), np.arange(values.size), values
+    )
+    span = resampled.max() - resampled.min()
+    if span == 0:
+        return _BLOCKS[0] * width
+    normalised = (resampled - resampled.min()) / span
+    return "".join(_BLOCKS[int(v * (len(_BLOCKS) - 1))] for v in normalised)
+
+
+def render_series(series: np.ndarray, height: int = 8, width: int = 80) -> str:
+    """Multi-row ASCII line plot of a 1-D series."""
+    series = np.asarray(series, dtype=np.float64).reshape(-1)
+    if series.size == 0:
+        raise ValueError("cannot render an empty series")
+    resampled = np.interp(
+        np.linspace(0, series.size - 1, width), np.arange(series.size), series
+    )
+    lo, hi = resampled.min(), resampled.max()
+    span = hi - lo or 1.0
+    rows = np.full((height, width), " ", dtype="<U1")
+    levels = np.clip(((resampled - lo) / span * (height - 1)).round().astype(int), 0, height - 1)
+    for column, level in enumerate(levels):
+        rows[height - 1 - level, column] = "*"
+    lines = ["".join(row) for row in rows]
+    lines[0] += f"  {hi:.3g}"
+    lines[-1] += f"  {lo:.3g}"
+    return "\n".join(lines)
+
+
+def render_detection(
+    channel: np.ndarray,
+    scores: np.ndarray,
+    threshold: float,
+    labels: np.ndarray | None = None,
+    width: int = 80,
+) -> str:
+    """Triage view: signal, score sparkline, alarm row, optional truth row.
+
+    ``!`` marks positions whose score exceeds the threshold; ``#`` marks
+    ground-truth anomalies when labels are provided.
+    """
+    channel = np.asarray(channel, dtype=np.float64).reshape(-1)
+    scores = np.asarray(scores, dtype=np.float64).reshape(-1)
+    if channel.shape != scores.shape:
+        raise ValueError("channel and scores must be aligned")
+    lines = [
+        "signal | " + sparkline(channel, width),
+        "score  | " + sparkline(scores, width),
+    ]
+    grid = np.linspace(0, channel.size - 1, width).astype(int)
+    alarm_row = "".join("!" if scores[i] >= threshold else " " for i in grid)
+    lines.append("alarms | " + alarm_row)
+    if labels is not None:
+        labels = np.asarray(labels).reshape(-1)
+        truth_row = "".join("#" if labels[i] else " " for i in grid)
+        lines.append("truth  | " + truth_row)
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""LOF and Isolation Forest tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import LOF, IsolationForest
+from repro.baselines.classical import _average_path_length
+
+
+@pytest.fixture
+def clustered_data(rng):
+    """Dense training cloud plus a test set with obvious outliers."""
+    train = rng.normal(0, 1, size=(1000, 3))
+    test = rng.normal(0, 1, size=(200, 3))
+    outlier_positions = [10, 100, 150]
+    test[outlier_positions] = 12.0
+    return train, test, outlier_positions
+
+
+class TestLOF:
+    def test_outliers_score_higher(self, clustered_data):
+        train, test, outliers = clustered_data
+        lof = LOF(n_neighbors=10).fit(train)
+        scores = lof.score(test)
+        inlier_scores = np.delete(scores, outliers)
+        assert scores[outliers].min() > inlier_scores.max()
+
+    def test_inliers_score_near_one(self, clustered_data):
+        train, test, outliers = clustered_data
+        lof = LOF(n_neighbors=10).fit(train)
+        scores = np.delete(lof.score(test), outliers)
+        assert 0.8 < np.median(scores) < 1.5
+
+    def test_subsampling_bound(self, rng):
+        lof = LOF(n_neighbors=5, max_reference=100)
+        lof.fit(rng.normal(size=(10_000, 2)))
+        assert lof._tree.n == 100
+
+    def test_invalid_neighbors(self):
+        with pytest.raises(ValueError):
+            LOF(n_neighbors=0)
+
+    def test_predict_pipeline(self, clustered_data, rng):
+        train, test, outliers = clustered_data
+        lof = LOF(n_neighbors=10, anomaly_ratio=2.0)
+        lof.fit(train, rng.normal(size=(300, 3)))
+        labels = lof.predict(test)
+        assert labels[outliers].all()
+
+
+class TestIsolationForest:
+    def test_outliers_score_higher(self, clustered_data):
+        train, test, outliers = clustered_data
+        forest = IsolationForest(n_trees=50).fit(train)
+        scores = forest.score(test)
+        assert scores[outliers].min() > np.delete(scores, outliers).mean()
+
+    def test_scores_in_unit_interval(self, clustered_data):
+        train, test, _ = clustered_data
+        scores = IsolationForest(n_trees=20).fit(train).score(test)
+        assert np.all((scores > 0) & (scores < 1))
+
+    def test_deterministic_in_seed(self, clustered_data):
+        train, test, _ = clustered_data
+        a = IsolationForest(n_trees=10, seed=1).fit(train).score(test)
+        b = IsolationForest(n_trees=10, seed=1).fit(train).score(test)
+        np.testing.assert_array_equal(a, b)
+
+    def test_small_training_set(self, rng):
+        forest = IsolationForest(n_trees=5, subsample=256)
+        forest.fit(rng.normal(size=(20, 2)))
+        assert forest._sample_size == 20
+        assert forest.score(rng.normal(size=(10, 2))).shape == (10,)
+
+    def test_constant_data_handled(self):
+        forest = IsolationForest(n_trees=5)
+        forest.fit(np.ones((50, 2)))
+        scores = forest.score(np.ones((5, 2)))
+        assert np.all(np.isfinite(scores))
+
+
+class TestAveragePathLength:
+    def test_known_values(self):
+        assert _average_path_length(np.array([1]))[0] == 0.0
+        assert _average_path_length(np.array([2]))[0] == 1.0
+
+    def test_grows_logarithmically(self):
+        values = _average_path_length(np.array([10, 100, 1000]))
+        assert values[0] < values[1] < values[2]
+        assert values[2] < 2 * np.log(1000)

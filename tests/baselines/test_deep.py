@@ -1,0 +1,89 @@
+"""Contract tests that every deep baseline must satisfy.
+
+One parametrised suite covers the full registry: fit, score alignment,
+threshold calibration, binary prediction, and (for a planted easy anomaly)
+score separation.  Method-specific behaviour is tested in
+``test_specifics.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import BASELINE_REGISTRY
+from repro.baselines.common import WindowModelDetector
+
+_DEEP_NAMES = [
+    name for name, ctor in BASELINE_REGISTRY.items()
+    if issubclass(ctor, WindowModelDetector)
+]
+
+_FAST_KWARGS = dict(window_size=20, epochs=1, batch_size=8, anomaly_ratio=5.0, seed=0)
+
+
+def _make(name: str):
+    ctor = BASELINE_REGISTRY[name]
+    kwargs = dict(_FAST_KWARGS)
+    if name == "DCdetector":
+        kwargs["patch"] = 5
+    return ctor(**kwargs)
+
+
+@pytest.fixture(scope="module")
+def series():
+    rng = np.random.default_rng(0)
+    t = np.arange(900)
+    base = np.stack([
+        np.sin(2 * np.pi * t / 20.0),
+        np.cos(2 * np.pi * t / 40.0),
+    ], axis=1)
+    noisy = base + rng.normal(0, 0.05, base.shape)
+    train, val, test = noisy[:500], noisy[500:700], noisy[700:].copy()
+    spikes = [40, 120, 170]
+    test[spikes] += 6.0
+    return train, val, test, spikes
+
+
+class TestDeepBaselineContract:
+    @pytest.mark.parametrize("name", _DEEP_NAMES)
+    def test_fit_score_predict(self, name, series):
+        train, val, test, _ = series
+        detector = _make(name)
+        detector.fit(train, val)
+        assert detector.threshold_ is not None
+        scores = detector.score(test)
+        assert scores.shape == (test.shape[0],)
+        assert np.all(np.isfinite(scores))
+        labels = detector.predict(test)
+        assert set(np.unique(labels)).issubset({0, 1})
+
+    @pytest.mark.parametrize("name", _DEEP_NAMES)
+    def test_loss_history_recorded(self, name, series):
+        train, val, _, _ = series
+        detector = _make(name)
+        detector.fit(train)
+        assert len(detector.loss_history) > 0
+        assert all(np.isfinite(value) for value in detector.loss_history)
+
+    @pytest.mark.parametrize("name", _DEEP_NAMES)
+    def test_unfitted_raises(self, name, series):
+        _, _, test, _ = series
+        with pytest.raises(RuntimeError):
+            _make(name).score(test)
+
+    @pytest.mark.parametrize("name", _DEEP_NAMES)
+    def test_spike_scores_above_median(self, name, series):
+        """Every method must rank blatant 6-sigma spikes above the median
+        normal score — a weak but universal sanity bar."""
+        train, val, test, spikes = series
+        detector = _make(name)
+        detector.fit(train, val)
+        scores = detector.score(test)
+        spike_neighbourhood = scores[spikes].min()
+        assert spike_neighbourhood > np.median(np.delete(scores, spikes))
+
+    def test_short_training_series_rejected(self, series):
+        detector = _make(_DEEP_NAMES[0])
+        with pytest.raises(ValueError):
+            detector.fit(np.zeros((5, 2)))

@@ -1,0 +1,166 @@
+"""Method-specific baseline tests: the mechanisms that define each method."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DAGMM,
+    DSVDD,
+    GPT4TS,
+    USAD,
+    AnomalyTransformer,
+    GaussianMixture,
+    TimesNet,
+    dominant_periods,
+)
+from repro.nn import Tensor
+
+
+class TestGaussianMixture:
+    def test_recovers_two_clusters(self, rng):
+        data = np.concatenate([
+            rng.normal(-5, 0.5, size=(500, 2)),
+            rng.normal(5, 0.5, size=(500, 2)),
+        ])
+        gmm = GaussianMixture(n_components=2, seed=0).fit(data)
+        means = np.sort(gmm.means_[:, 0])
+        np.testing.assert_allclose(means, [-5, 5], atol=0.5)
+
+    def test_energy_higher_for_outliers(self, rng):
+        data = rng.normal(0, 1, size=(1000, 2))
+        gmm = GaussianMixture(n_components=3, seed=0).fit(data)
+        inlier_energy = gmm.energy(np.zeros((1, 2)))[0]
+        outlier_energy = gmm.energy(np.full((1, 2), 20.0))[0]
+        assert outlier_energy > inlier_energy + 10
+
+    def test_weights_sum_to_one(self, rng):
+        gmm = GaussianMixture(n_components=4, seed=0).fit(rng.normal(size=(200, 3)))
+        assert gmm.weights_.sum() == pytest.approx(1.0)
+
+    def test_more_components_than_points_clamped(self, rng):
+        gmm = GaussianMixture(n_components=10, seed=0).fit(rng.normal(size=(4, 2)))
+        assert gmm.means_.shape[0] == 4
+
+    def test_energy_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianMixture().energy(np.zeros((1, 2)))
+
+
+class TestDominantPeriods:
+    def test_finds_planted_period(self):
+        t = np.arange(200)
+        windows = np.sin(2 * np.pi * t / 25.0)[None, :, None]
+        periods, amplitudes = dominant_periods(windows, k=1)
+        assert periods[0] == 25
+
+    def test_dc_excluded(self):
+        windows = np.full((1, 64, 1), 7.0)  # pure DC
+        periods, amplitudes = dominant_periods(windows, k=2)
+        assert np.all(periods >= 2)
+
+    def test_k_clamped(self, rng):
+        windows = rng.normal(size=(1, 8, 1))
+        periods, _ = dominant_periods(windows, k=100)
+        assert len(periods) <= 4
+
+
+class TestDSVDD:
+    def test_center_fixed_and_nonzero(self, rng):
+        detector = DSVDD(window_size=20, epochs=1, batch_size=4)
+        detector.fit(rng.normal(size=(200, 3)))
+        center = detector.model.center
+        assert center is not None
+        assert np.all(np.abs(center) >= 0.1 - 1e-12)
+
+    def test_encoder_has_no_biases(self, rng):
+        detector = DSVDD(window_size=20, epochs=0 or 1)
+        detector.fit(rng.normal(size=(100, 2)))
+        names = [name for name, _ in detector.model.named_parameters()]
+        assert not any("bias" in name for name in names)
+
+
+class TestUSAD:
+    def test_epoch_schedule_advances(self, rng):
+        detector = USAD(window_size=20, epochs=3, batch_size=8)
+        detector.fit(rng.normal(size=(200, 2)))
+        assert detector.model.epoch == 4  # starts at 1, +1 per epoch
+
+    def test_score_combines_two_errors(self, rng):
+        detector = USAD(window_size=20, epochs=1)
+        detector.fit(rng.normal(size=(200, 2)))
+        windows = rng.normal(size=(2, 20, 2))
+        full = detector.model.score_windows(windows, alpha=0.5, beta=0.5)
+        only_first = detector.model.score_windows(windows, alpha=1.0, beta=0.0)
+        only_second = detector.model.score_windows(windows, alpha=0.0, beta=1.0)
+        np.testing.assert_allclose(full, 0.5 * only_first + 0.5 * only_second)
+
+
+class TestGPT4TS:
+    def test_backbone_frozen_except_norms(self, rng):
+        detector = GPT4TS(window_size=20, epochs=1)
+        detector.fit(rng.normal(size=(100, 2)))
+        for name, param in detector.model.backbone.named_parameters():
+            if ".norm" in name:
+                assert param.requires_grad, name
+            else:
+                assert not param.requires_grad, name
+
+    def test_backbone_unchanged_by_training(self, rng):
+        detector = GPT4TS(window_size=20, epochs=2, learning_rate=1e-2)
+        model = detector.build_model(2)
+        frozen_before = {
+            name: param.data.copy()
+            for name, param in model.backbone.named_parameters()
+            if not param.requires_grad
+        }
+        detector.model = model
+        detector._fitted = True
+        # Train through the public API on fresh data.
+        detector._fit(rng.normal(size=(200, 2)))
+        # _fit rebuilds the model, so check the frozen params of the new one
+        # still receive no gradient by running one manual step instead.
+        model = detector.model
+        loss = model.loss(rng.normal(size=(4, 20, 2)))
+        loss.backward()
+        for name, param in model.backbone.named_parameters():
+            if not param.requires_grad:
+                assert param.grad is None, name
+
+
+class TestAnomalyTransformer:
+    def test_association_discrepancy_shape(self, rng):
+        detector = AnomalyTransformer(window_size=20, epochs=1)
+        model = detector.build_model(2)
+        windows = rng.normal(size=(3, 20, 2))
+        _, associations = model._forward(windows)
+        assert len(associations) == detector.layers
+        series, prior = associations[0]
+        assert series.shape == (3, 20, 20)
+        assert prior.shape == (3, 20, 20)
+        np.testing.assert_allclose(prior.data.sum(axis=-1), 1.0, atol=1e-8)
+
+    def test_prior_concentrates_near_diagonal(self, rng):
+        detector = AnomalyTransformer(window_size=20, epochs=1)
+        model = detector.build_model(2)
+        _, associations = model._forward(rng.normal(size=(1, 20, 2)))
+        _, prior = associations[0]
+        diagonal = np.diagonal(prior.data[0])
+        assert diagonal.mean() > prior.data[0].mean()
+
+    def test_score_weighted_by_discrepancy(self, rng):
+        detector = AnomalyTransformer(window_size=20, epochs=1)
+        detector.fit(rng.normal(size=(200, 2)))
+        scores = detector.model.score_windows(rng.normal(size=(2, 20, 2)))
+        assert scores.shape == (2, 20)
+        assert np.all(scores >= 0)
+
+
+class TestTimesNet:
+    def test_period_folding_preserves_shape(self, rng):
+        detector = TimesNet(window_size=30, epochs=1)
+        model = detector.build_model(2)
+        x = Tensor(rng.normal(size=(2, 30, model.embed.out_features)))
+        out = model.block.forward_period(x, period=7)  # 30 % 7 != 0 -> padding path
+        assert out.shape == (2, 30, model.embed.out_features)

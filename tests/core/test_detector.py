@@ -1,0 +1,107 @@
+"""End-user detector tests: the fit/score/predict pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TFMAE, TFMAEConfig
+
+
+def _fast_config(**overrides) -> TFMAEConfig:
+    base = dict(window_size=25, d_model=8, num_layers=1, num_heads=2,
+                temporal_mask_ratio=30.0, frequency_mask_ratio=30.0,
+                anomaly_ratio=5.0, batch_size=8, epochs=1, learning_rate=1e-3)
+    base.update(overrides)
+    return TFMAEConfig(**base)
+
+
+class TestLifecycle:
+    def test_unfitted_raises(self, rng):
+        detector = TFMAE(_fast_config())
+        with pytest.raises(RuntimeError):
+            detector.score(rng.normal(size=(50, 1)))
+        with pytest.raises(RuntimeError):
+            detector.predict(rng.normal(size=(50, 1)))
+
+    def test_predict_without_threshold_raises(self, rng):
+        detector = TFMAE(_fast_config())
+        detector.fit(rng.normal(size=(100, 1)))  # no validation split
+        with pytest.raises(RuntimeError):
+            detector.predict(rng.normal(size=(50, 1)))
+
+    def test_fit_with_validation_sets_threshold(self, rng):
+        detector = TFMAE(_fast_config())
+        detector.fit(rng.normal(size=(100, 1)), rng.normal(size=(50, 1)))
+        assert detector.threshold_ is not None
+
+    def test_fit_rejects_1d_train(self, rng):
+        with pytest.raises(ValueError):
+            TFMAE(_fast_config()).fit(rng.normal(size=100))
+
+    def test_score_length_matches_series(self, rng):
+        detector = TFMAE(_fast_config())
+        detector.fit(rng.normal(size=(100, 1)), rng.normal(size=(50, 1)))
+        for length in (25, 50, 60, 99):
+            assert detector.score(rng.normal(size=(length, 1))).shape == (length,)
+
+    def test_score_shorter_than_window(self, rng):
+        detector = TFMAE(_fast_config())
+        detector.fit(rng.normal(size=(100, 1)), rng.normal(size=(50, 1)))
+        assert detector.score(rng.normal(size=(10, 1))).shape == (10,)
+
+    def test_predict_is_binary(self, rng):
+        detector = TFMAE(_fast_config())
+        detector.fit(rng.normal(size=(100, 1)), rng.normal(size=(50, 1)))
+        labels = detector.predict(rng.normal(size=(75, 1)))
+        assert set(np.unique(labels)).issubset({0, 1})
+
+    def test_anomaly_ratio_comes_from_config(self):
+        detector = TFMAE(_fast_config(anomaly_ratio=1.5))
+        assert detector.anomaly_ratio == 1.5
+
+    def test_training_log_exposed(self, rng):
+        detector = TFMAE(_fast_config())
+        detector.fit(rng.normal(size=(100, 1)))
+        assert detector.training_log is not None
+        assert detector.training_log.summary()["batches"] > 0
+
+
+class TestCheckpointing:
+    def test_saved_model_scores_identically(self, rng, tmp_path):
+        from repro.nn import load_model, save_model
+
+        series = rng.normal(size=(150, 2))
+        detector = TFMAE(_fast_config())
+        detector.fit(series, rng.normal(size=(50, 2)))
+        path = tmp_path / "tfmae.npz"
+        save_model(detector.model, path)
+
+        clone = TFMAE(_fast_config())
+        clone.fit(series[:50], rng.normal(size=(50, 2)))  # different weights
+        load_model(clone.model, path)
+        clone.threshold_ = detector.threshold_
+
+        probe = rng.normal(size=(75, 2))
+        np.testing.assert_allclose(clone.score(probe), detector.score(probe))
+        np.testing.assert_array_equal(clone.predict(probe), detector.predict(probe))
+
+
+class TestDetectionQuality:
+    def test_detects_planted_spikes(self):
+        """TFMAE must score obvious global anomalies above normal points."""
+        rng = np.random.default_rng(0)
+        t = np.arange(1500)
+        base = np.sin(2 * np.pi * t / 25.0)
+        train = (base[:800] + rng.normal(0, 0.05, 800))[:, None]
+        val = (base[800:1000] + rng.normal(0, 0.05, 200))[:, None]
+        test = (base[1000:] + rng.normal(0, 0.05, 500))[:, None]
+        spikes = [50, 180, 320, 440]
+        test[spikes, 0] += 8.0
+
+        detector = TFMAE(_fast_config(epochs=4))
+        detector.fit(train, val)
+        scores = detector.score(test)
+        normal_mean = np.delete(scores, spikes).mean()
+        spike_mean = scores[spikes].mean()
+        assert spike_mean > 1.5 * normal_mean

@@ -1,0 +1,187 @@
+"""TFMAE model tests: branch behaviour, loss structure, scores, ablations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TFMAEConfig, TFMAEModel
+from repro.core.model import FrequencyBranch, TemporalBranch
+
+
+def _small_config(**overrides) -> TFMAEConfig:
+    base = dict(
+        window_size=40, d_model=16, num_layers=1, num_heads=2,
+        temporal_mask_ratio=25.0, frequency_mask_ratio=25.0,
+        batch_size=4, epochs=1,
+    )
+    base.update(overrides)
+    return TFMAEConfig(**base)
+
+
+@pytest.fixture
+def windows(rng):
+    return rng.normal(size=(3, 40, 2))
+
+
+class TestBranches:
+    def test_temporal_branch_shape(self, windows, rng):
+        branch = TemporalBranch(2, _small_config(), rng)
+        assert branch(windows).shape == (3, 40, 16)
+
+    def test_frequency_branch_shape(self, windows, rng):
+        branch = FrequencyBranch(2, _small_config(), rng)
+        assert branch(windows).shape == (3, 40, 16)
+
+    def test_temporal_branch_no_encoder(self, windows, rng):
+        branch = TemporalBranch(2, _small_config(use_temporal_encoder=False), rng)
+        assert branch.encoder is None
+        assert branch(windows).shape == (3, 40, 16)
+
+    def test_temporal_branch_no_decoder(self, windows, rng):
+        branch = TemporalBranch(2, _small_config(use_temporal_decoder=False), rng)
+        assert branch.decoder is None
+        assert branch(windows).shape == (3, 40, 16)
+
+    def test_temporal_branch_zero_mask_ratio(self, windows, rng):
+        branch = TemporalBranch(2, _small_config(temporal_mask_ratio=0.0), rng)
+        assert branch(windows).shape == (3, 40, 16)
+
+    def test_temporal_branch_full_mask_ratio(self, windows, rng):
+        branch = TemporalBranch(2, _small_config(temporal_mask_ratio=100.0), rng)
+        assert branch(windows).shape == (3, 40, 16)
+
+    def test_frequency_branch_no_decoder(self, windows, rng):
+        branch = FrequencyBranch(2, _small_config(use_frequency_decoder=False), rng)
+        assert branch.decoder is None
+        assert branch(windows).shape == (3, 40, 16)
+
+    def test_mask_token_receives_gradient(self, windows, rng):
+        model = TFMAEModel(2, _small_config())
+        loss, _ = model.loss(windows)
+        loss.backward()
+        assert model.temporal.mask_token.grad is not None
+        assert model.frequency.mask_token_re.grad is not None
+        assert model.frequency.mask_token_im.grad is not None
+
+
+class TestModelForward:
+    def test_dual_output_shapes(self, windows):
+        model = TFMAEModel(2, _small_config())
+        p, f = model(windows)
+        assert p.shape == (3, 40, 16)
+        assert f.shape == (3, 40, 16)
+
+    def test_rejects_wrong_feature_count(self, rng):
+        model = TFMAEModel(2, _small_config())
+        with pytest.raises(ValueError):
+            model(rng.normal(size=(1, 40, 5)))
+
+    def test_rejects_unbatched_input(self, rng):
+        model = TFMAEModel(2, _small_config())
+        with pytest.raises(ValueError):
+            model(rng.normal(size=(40, 2)))
+
+    def test_single_branch_returns_none(self, windows):
+        temporal_only = TFMAEModel(2, _small_config(use_frequency_branch=False))
+        p, f = temporal_only(windows)
+        assert p is not None and f is None
+
+        frequency_only = TFMAEModel(2, _small_config(use_temporal_branch=False))
+        p, f = frequency_only(windows)
+        assert p is None and f is not None
+
+
+class TestLoss:
+    def test_adversarial_loss_is_zero_valued_but_not_zero_gradient(self, windows):
+        """min - max of equal values is 0, yet gradients are live (Eq. 15)."""
+        model = TFMAEModel(2, _small_config())
+        loss, metrics = model.loss(windows)
+        assert loss.item() == pytest.approx(0.0, abs=1e-10)
+        assert metrics["minimise"] > 0
+        loss.backward()
+        grads = [p.grad for p in model.parameters() if p.grad is not None]
+        assert sum(float(np.abs(g).sum()) for g in grads) > 0
+
+    def test_plain_contrastive_loss_positive(self, windows):
+        model = TFMAEModel(2, _small_config(adversarial=False))
+        loss, metrics = model.loss(windows)
+        assert loss.item() > 0
+        assert "contrastive" in metrics
+
+    def test_adversarial_gradient_direction(self, windows):
+        """Standard Eq. 15: only the frequency branch minimises toward the
+        (frozen) temporal anchor; reversed swaps the roles."""
+        standard = TFMAEModel(2, _small_config())
+        loss, _ = standard.loss(windows)
+        loss.backward()
+        freq_grad = float(np.abs(standard.frequency.projection.weight.grad).sum())
+        assert freq_grad > 0
+
+        reversed_model = TFMAEModel(2, _small_config(reversed_adversarial=True))
+        loss, _ = reversed_model.loss(windows)
+        loss.backward()
+        temp_grad = float(np.abs(reversed_model.temporal.projection.weight.grad).sum())
+        assert temp_grad > 0
+
+    def test_single_branch_falls_back_to_reconstruction(self, windows):
+        model = TFMAEModel(2, _small_config(use_frequency_branch=False))
+        loss, metrics = model.loss(windows)
+        assert "reconstruction_mse" in metrics
+        assert loss.item() > 0
+
+
+class TestScoring:
+    def test_score_shape_and_finite(self, windows):
+        model = TFMAEModel(2, _small_config())
+        scores = model.score_windows(windows)
+        assert scores.shape == (3, 40)
+        assert np.all(np.isfinite(scores))
+
+    def test_scores_non_negative(self, windows):
+        model = TFMAEModel(2, _small_config())
+        assert np.all(model.score_windows(windows) >= -1e-10)
+
+    def test_single_branch_scores(self, windows):
+        model = TFMAEModel(2, _small_config(use_temporal_branch=False))
+        scores = model.score_windows(windows)
+        assert scores.shape == (3, 40)
+        assert np.all(scores >= 0)
+
+    def test_scoring_does_not_build_graph(self, windows):
+        model = TFMAEModel(2, _small_config())
+        model.score_windows(windows)
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_deterministic_given_seed(self, windows):
+        a = TFMAEModel(2, _small_config(seed=7)).score_windows(windows)
+        b = TFMAEModel(2, _small_config(seed=7)).score_windows(windows)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestAblationVariants:
+    """Every Table IV/V variant must build, train a step, and score."""
+
+    @pytest.mark.parametrize("overrides", [
+        {"adversarial": False},
+        {"reversed_adversarial": True},
+        {"use_frequency_branch": False},
+        {"use_frequency_decoder": False},
+        {"use_temporal_branch": False},
+        {"use_temporal_encoder": False},
+        {"use_temporal_decoder": False},
+        {"temporal_mask_strategy": "none"},
+        {"temporal_mask_strategy": "std"},
+        {"temporal_mask_strategy": "random"},
+        {"frequency_mask_strategy": "none"},
+        {"frequency_mask_strategy": "high"},
+        {"frequency_mask_strategy": "random"},
+        {"use_fft_acceleration": False},
+    ])
+    def test_variant_trains_and_scores(self, windows, overrides):
+        model = TFMAEModel(2, _small_config(**overrides))
+        loss, _ = model.loss(windows)
+        loss.backward()
+        scores = model.score_windows(windows)
+        assert scores.shape == (3, 40)
+        assert np.all(np.isfinite(scores))

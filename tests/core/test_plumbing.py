@@ -1,0 +1,88 @@
+"""Configuration plumbing: every TFMAEConfig switch must reach the
+component it controls."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TFMAEConfig, TFMAEModel
+
+
+def _config(**overrides) -> TFMAEConfig:
+    base = dict(window_size=30, d_model=16, num_layers=1, num_heads=2)
+    base.update(overrides)
+    return TFMAEConfig(**base)
+
+
+class TestMaskerPlumbing:
+    @pytest.mark.parametrize("strategy", ["cov", "std", "random", "none"])
+    def test_temporal_strategy_reaches_masker(self, strategy):
+        model = TFMAEModel(1, _config(temporal_mask_strategy=strategy))
+        assert model.temporal.masker.strategy == strategy
+
+    @pytest.mark.parametrize("strategy", ["amplitude", "high", "random", "none"])
+    def test_frequency_strategy_reaches_masker(self, strategy):
+        model = TFMAEModel(1, _config(frequency_mask_strategy=strategy))
+        assert model.frequency.masker.strategy == strategy
+
+    def test_ratios_reach_maskers(self):
+        model = TFMAEModel(1, _config(temporal_mask_ratio=33.0, frequency_mask_ratio=44.0))
+        assert model.temporal.masker.ratio == 33.0
+        assert model.frequency.masker.ratio == 44.0
+
+    def test_cov_window_reaches_masker(self):
+        model = TFMAEModel(1, _config(cov_window=7))
+        assert model.temporal.masker.window == 7
+
+    def test_fft_flag_reaches_masker(self):
+        model = TFMAEModel(1, _config(use_fft_acceleration=False))
+        assert model.temporal.masker.use_fft is False
+
+
+class TestArchitecturePlumbing:
+    def test_layer_count(self):
+        model = TFMAEModel(1, _config(num_layers=1))
+        assert len(model.temporal.encoder) == 1
+        assert len(model.temporal.decoder) == 1
+        assert len(model.frequency.decoder) == 1
+
+    def test_ffn_dim_override(self):
+        model = TFMAEModel(1, _config(ffn_dim=8))
+        layer = model.frequency.decoder[0]
+        assert layer.ffn[0].out_features == 8
+
+    def test_seed_controls_initialisation(self, rng):
+        a = TFMAEModel(2, _config(seed=1))
+        b = TFMAEModel(2, _config(seed=1))
+        c = TFMAEModel(2, _config(seed=2))
+        wa = a.temporal.projection.weight.data
+        assert np.array_equal(wa, b.temporal.projection.weight.data)
+        assert not np.array_equal(wa, c.temporal.projection.weight.data)
+
+    def test_parameter_count_dual_vs_single(self):
+        dual = TFMAEModel(2, _config())
+        single = TFMAEModel(2, _config(use_frequency_branch=False))
+        # The single-branch model gains a reconstruction head but loses a
+        # whole branch — far fewer parameters overall.
+        assert single.num_parameters() < dual.num_parameters()
+
+
+class TestPositionalEncodingPlacement:
+    def test_mask_tokens_carry_position_information(self, rng):
+        """Two windows identical except for WHERE the masked positions sit
+        must produce different decoder inputs — the PE is added at the
+        masked tokens' original locations (paper Section IV-B.2)."""
+        from repro.core.model import TemporalBranch
+
+        config = _config(temporal_mask_ratio=20.0)
+        branch = TemporalBranch(1, config, np.random.default_rng(0))
+        # Craft windows whose CoV peaks at different places.
+        quiet = np.zeros((1, 30, 1)) + 1.0
+        early_spike = quiet.copy()
+        early_spike[0, 3, 0] = 30.0
+        late_spike = quiet.copy()
+        late_spike[0, 25, 0] = 30.0
+        early_mask = branch.masker(early_spike).mask
+        late_mask = branch.masker(late_spike).mask
+        assert not np.array_equal(early_mask, late_mask)

@@ -1,0 +1,102 @@
+"""Dataset container and scaler tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import StandardScaler, TimeSeriesDataset
+
+
+def _dataset(rng, anomalies=10) -> TimeSeriesDataset:
+    labels = np.zeros(100, dtype=np.int64)
+    labels[:anomalies] = 1
+    return TimeSeriesDataset(
+        name="toy",
+        train=rng.normal(size=(200, 3)),
+        validation=rng.normal(size=(50, 3)),
+        test=rng.normal(size=(100, 3)),
+        test_labels=labels,
+    )
+
+
+class TestScaler:
+    def test_zero_mean_unit_std(self, rng):
+        data = rng.normal(5.0, 3.0, size=(500, 4))
+        scaled = StandardScaler().fit_transform(data)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_channel_safe(self):
+        data = np.ones((100, 2))
+        data[:, 1] = np.arange(100)
+        scaled = StandardScaler().fit_transform(data)
+        assert np.all(np.isfinite(scaled))
+        np.testing.assert_array_equal(scaled[:, 0], 0.0)
+
+    def test_transform_before_fit_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(rng.normal(size=(10, 2)))
+
+    def test_inverse_roundtrip(self, rng):
+        data = rng.normal(2.0, 4.0, size=(100, 3))
+        scaler = StandardScaler().fit(data)
+        np.testing.assert_allclose(scaler.inverse_transform(scaler.transform(data)), data)
+
+    def test_requires_2d(self, rng):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(rng.normal(size=100))
+
+
+class TestTimeSeriesDataset:
+    def test_properties(self, rng):
+        ds = _dataset(rng)
+        assert ds.n_features == 3
+        assert ds.anomaly_ratio == pytest.approx(0.1)
+
+    def test_summary_matches_table2_format(self, rng):
+        summary = _dataset(rng).summary()
+        assert summary["dimension"] == 3
+        assert summary["train"] == 200
+        assert summary["anomaly_ratio_pct"] == 10.0
+
+    def test_normalised_uses_train_statistics(self, rng):
+        ds = _dataset(rng)
+        normalised = ds.normalised()
+        np.testing.assert_allclose(normalised.train.mean(axis=0), 0.0, atol=1e-10)
+        # Test split is scaled with TRAIN stats, so not exactly zero-mean.
+        assert not np.allclose(normalised.test.mean(axis=0), 0.0, atol=1e-12)
+
+    def test_normalised_preserves_labels(self, rng):
+        ds = _dataset(rng)
+        np.testing.assert_array_equal(ds.normalised().test_labels, ds.test_labels)
+
+    def test_label_length_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            TimeSeriesDataset(
+                name="bad",
+                train=rng.normal(size=(10, 2)),
+                validation=rng.normal(size=(10, 2)),
+                test=rng.normal(size=(10, 2)),
+                test_labels=np.zeros(5),
+            )
+
+    def test_feature_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError):
+            TimeSeriesDataset(
+                name="bad",
+                train=rng.normal(size=(10, 2)),
+                validation=rng.normal(size=(10, 3)),
+                test=rng.normal(size=(10, 2)),
+                test_labels=np.zeros(10),
+            )
+
+    def test_1d_split_rejected(self, rng):
+        with pytest.raises(ValueError):
+            TimeSeriesDataset(
+                name="bad",
+                train=rng.normal(size=10),
+                validation=rng.normal(size=(10, 1)),
+                test=rng.normal(size=(10, 1)),
+                test_labels=np.zeros(10),
+            )

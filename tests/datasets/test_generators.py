@@ -1,0 +1,106 @@
+"""Generator tests: NIPS-TS rules, dataset profiles, registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    PROFILE_SPECS,
+    available_datasets,
+    get_dataset,
+    make_nips_ts_global,
+    make_nips_ts_seasonal,
+)
+from repro.datasets.registry import DATASET_GENERATORS
+
+
+class TestNipsTsGenerators:
+    def test_global_is_univariate_with_5pct_anomalies(self):
+        ds = make_nips_ts_global(scale=0.05)
+        assert ds.n_features == 1
+        assert ds.anomaly_ratio == pytest.approx(0.05, abs=0.005)
+
+    def test_global_anomalies_are_points(self):
+        ds = make_nips_ts_global(scale=0.05)
+        # Global anomalies are isolated observations: runs of 1s are short.
+        from repro.metrics import anomaly_segments
+        lengths = [stop - start for start, stop in anomaly_segments(ds.test_labels)]
+        assert max(lengths) <= 3
+
+    def test_seasonal_anomalies_are_segments(self):
+        ds = make_nips_ts_seasonal(scale=0.05)
+        from repro.metrics import anomaly_segments
+        lengths = [stop - start for start, stop in anomaly_segments(ds.test_labels)]
+        assert min(lengths) >= 10
+
+    def test_deterministic_in_seed(self):
+        a = make_nips_ts_global(seed=3, scale=0.02)
+        b = make_nips_ts_global(seed=3, scale=0.02)
+        np.testing.assert_array_equal(a.test, b.test)
+        c = make_nips_ts_global(seed=4, scale=0.02)
+        assert not np.array_equal(a.test, c.test)
+
+    def test_full_scale_matches_table2(self):
+        # Only check the arithmetic, not a full-size allocation.
+        ds = make_nips_ts_global(scale=0.01)
+        assert ds.train.shape[0] == 400
+        assert ds.validation.shape[0] == 100
+        assert ds.test.shape[0] == 500
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            make_nips_ts_global(scale=0.0)
+
+
+class TestProfiles:
+    @pytest.mark.parametrize("name", ["MSL", "SMAP", "PSM", "SMD", "SWaT"])
+    def test_profile_matches_spec(self, name):
+        spec = PROFILE_SPECS[name]
+        ds = get_dataset(name, scale=0.004)
+        assert ds.n_features == spec.dimension
+        assert ds.anomaly_ratio == pytest.approx(spec.anomaly_ratio, abs=0.05)
+        # Split proportions follow Table II.
+        assert ds.train.shape[0] == max(400, int(spec.train_len * 0.004))
+
+    def test_train_contamination_present(self):
+        ds = get_dataset("PSM", scale=0.01)
+        assert ds.train_labels is not None
+        assert 0 < ds.train_labels.mean() < 0.1
+
+    def test_smap_has_distribution_shift(self):
+        """SMAP's test regime drifts away from training (Fig. 1/9 setup)."""
+        ds = get_dataset("SMAP", scale=0.01)
+        normal_test = ds.test[ds.test_labels == 0]
+        late = normal_test[-len(normal_test) // 4 :]
+        shift = np.abs(late.mean(axis=0) - ds.train.mean(axis=0)).max()
+        assert shift > 0.5
+
+    def test_swat_has_long_segments(self):
+        from repro.metrics import anomaly_segments
+        ds = get_dataset("SWaT", scale=0.004)
+        lengths = [stop - start for start, stop in anomaly_segments(ds.test_labels)]
+        assert max(lengths) >= 80
+
+
+class TestRegistry:
+    def test_all_seven_datasets_registered(self):
+        assert set(available_datasets()) == {
+            "MSL", "SMAP", "PSM", "SMD", "SWaT", "NIPS-TS-Global", "NIPS-TS-Seasonal",
+        }
+        assert len(DATASET_GENERATORS) == 7
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_dataset("NOPE")
+
+    def test_cache_returns_same_object(self):
+        a = get_dataset("NIPS-TS-Global", scale=0.01)
+        b = get_dataset("NIPS-TS-Global", scale=0.01)
+        assert a is b
+
+    def test_cache_disabled_returns_fresh(self):
+        a = get_dataset("NIPS-TS-Global", scale=0.01, cache=False)
+        b = get_dataset("NIPS-TS-Global", scale=0.01, cache=False)
+        assert a is not b
+        np.testing.assert_array_equal(a.test, b.test)

@@ -1,0 +1,114 @@
+"""Anomaly injection tests: every injector marks exactly what it changes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    inject_contextual,
+    inject_global,
+    inject_seasonal,
+    inject_shapelet,
+    inject_trend,
+    random_positions,
+    random_segments,
+)
+
+
+@pytest.fixture
+def channel(rng):
+    return np.sin(2 * np.pi * np.arange(500) / 50.0) + rng.normal(0, 0.05, 500)
+
+
+class TestSampling:
+    def test_random_positions_distinct_sorted(self, rng):
+        positions = random_positions(100, 20, rng)
+        assert len(set(positions.tolist())) == 20
+        assert np.all(np.diff(positions) > 0)
+
+    def test_random_positions_respects_margin(self, rng):
+        positions = random_positions(100, 50, rng, margin=5)
+        assert positions.min() >= 5
+        assert positions.max() < 95
+
+    def test_random_positions_zero(self, rng):
+        assert random_positions(100, 0, rng).size == 0
+
+    def test_random_positions_overflow_raises(self, rng):
+        with pytest.raises(ValueError):
+            random_positions(10, 100, rng)
+
+    def test_random_segments_non_overlapping(self, rng):
+        segments = random_segments(1000, 10, 50, rng)
+        assert len(segments) == 10
+        for (s1, e1), (s2, e2) in zip(segments, segments[1:]):
+            assert e1 <= s2
+
+    def test_random_segments_zero(self, rng):
+        assert random_segments(100, 0, 10, rng) == []
+
+
+class TestPointInjectors:
+    def test_global_labels_match_positions(self, channel, rng):
+        positions = np.array([10, 200, 450])
+        out, labels = inject_global(channel, positions, rng)
+        assert labels.sum() == 3
+        np.testing.assert_array_equal(np.flatnonzero(labels), positions)
+
+    def test_global_values_are_extreme(self, channel, rng):
+        positions = np.array([100])
+        out, _ = inject_global(channel, positions, rng, magnitude=6.0)
+        deviation = abs(out[100] - channel.mean()) / channel.std()
+        assert deviation > 4.0
+
+    def test_global_untouched_elsewhere(self, channel, rng):
+        positions = np.array([100])
+        out, _ = inject_global(channel, positions, rng)
+        mask = np.ones(500, dtype=bool)
+        mask[100] = False
+        np.testing.assert_array_equal(out[mask], channel[mask])
+
+    def test_global_empty_positions(self, channel, rng):
+        out, labels = inject_global(channel, np.empty(0, dtype=np.int64), rng)
+        np.testing.assert_array_equal(out, channel)
+        assert labels.sum() == 0
+
+    def test_contextual_deviates_locally(self, channel, rng):
+        positions = np.array([250])
+        out, labels = inject_contextual(channel, positions, rng, magnitude=4.0)
+        assert labels[250] == 1
+        local = channel[230:270]
+        assert abs(out[250] - local.mean()) > 2.0 * local.std()
+
+
+class TestPatternInjectors:
+    def test_shapelet_replaces_segment(self, channel, rng):
+        out, labels = inject_shapelet(channel, [(100, 150)], rng)
+        assert labels[100:150].all()
+        assert labels.sum() == 50
+        assert not np.allclose(out[100:150], channel[100:150])
+
+    def test_seasonal_changes_frequency(self, channel, rng):
+        out, labels = inject_seasonal(channel, [(100, 200)], rng)
+        assert labels[100:200].all()
+        # Faster oscillation => more zero crossings in the segment.
+        def crossings(x):
+            return int(np.sum(np.diff(np.sign(x - x.mean())) != 0))
+        assert crossings(out[100:200]) > crossings(channel[100:200])
+
+    def test_trend_accumulates_drift(self, channel, rng):
+        out, labels = inject_trend(channel, [(200, 300)], rng, slope_scale=0.1)
+        assert labels[200:300].all()
+        drift = np.abs(out[200:300] - channel[200:300])
+        assert drift[-1] > drift[5]
+        # Snaps back after the segment.
+        np.testing.assert_array_equal(out[300:], channel[300:])
+
+    def test_inputs_not_mutated(self, channel, rng):
+        original = channel.copy()
+        inject_global(channel, np.array([5]), rng)
+        inject_shapelet(channel, [(10, 30)], rng)
+        inject_seasonal(channel, [(40, 80)], rng)
+        inject_trend(channel, [(90, 120)], rng)
+        np.testing.assert_array_equal(channel, original)

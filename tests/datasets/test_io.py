@@ -1,0 +1,67 @@
+"""Dataset persistence tests (CSV and NPZ round-trips)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import TimeSeriesDataset, make_nips_ts_global
+from repro.datasets.io import (
+    load_dataset_csv,
+    load_dataset_npz,
+    save_dataset_csv,
+    save_dataset_npz,
+)
+
+
+@pytest.fixture
+def dataset(rng) -> TimeSeriesDataset:
+    labels = (rng.random(60) < 0.1).astype(np.int64)
+    return TimeSeriesDataset(
+        name="toy",
+        train=rng.normal(size=(120, 3)),
+        validation=rng.normal(size=(40, 3)),
+        test=rng.normal(size=(60, 3)),
+        test_labels=labels,
+        train_labels=np.zeros(120, dtype=np.int64),
+    )
+
+
+class TestNpzRoundTrip:
+    def test_roundtrip(self, dataset, tmp_path):
+        path = tmp_path / "toy.npz"
+        save_dataset_npz(dataset, path)
+        loaded = load_dataset_npz(path)
+        assert loaded.name == "toy"
+        np.testing.assert_array_equal(loaded.train, dataset.train)
+        np.testing.assert_array_equal(loaded.test_labels, dataset.test_labels)
+        np.testing.assert_array_equal(loaded.train_labels, dataset.train_labels)
+
+    def test_without_train_labels(self, tmp_path):
+        dataset = make_nips_ts_global(scale=0.01)
+        path = tmp_path / "g.npz"
+        save_dataset_npz(dataset, path)
+        loaded = load_dataset_npz(path)
+        assert loaded.train_labels is None
+        np.testing.assert_array_equal(loaded.test, dataset.test)
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip_multivariate(self, dataset, tmp_path):
+        save_dataset_csv(dataset, tmp_path)
+        loaded = load_dataset_csv(tmp_path, "toy")
+        np.testing.assert_allclose(loaded.train, dataset.train)
+        np.testing.assert_allclose(loaded.validation, dataset.validation)
+        np.testing.assert_array_equal(loaded.test_labels, dataset.test_labels)
+
+    def test_roundtrip_univariate(self, tmp_path):
+        dataset = make_nips_ts_global(scale=0.01)
+        save_dataset_csv(dataset, tmp_path)
+        loaded = load_dataset_csv(tmp_path, "NIPS-TS-Global")
+        assert loaded.n_features == 1
+        np.testing.assert_allclose(loaded.test, dataset.test)
+
+    def test_files_created(self, dataset, tmp_path):
+        save_dataset_csv(dataset, tmp_path)
+        for suffix in ("train", "validation", "test", "test_labels"):
+            assert (tmp_path / f"toy_{suffix}.csv").exists()

@@ -1,0 +1,91 @@
+"""Tests for the dataset-profile channel primitives and event injection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.profiles import (
+    _actuator_channel,
+    _ar1_channel,
+    _build_channels,
+    _bursty_channel,
+    _inject_events,
+    _periodic_channel,
+    _sawtooth_channel,
+)
+
+
+class TestChannelPrimitives:
+    def test_periodic_has_dominant_frequency(self, rng):
+        channel = _periodic_channel(2000, rng)
+        spectrum = np.abs(np.fft.rfft(channel - channel.mean()))
+        peak_share = spectrum.max() / spectrum.sum()
+        assert peak_share > 0.05  # concentrated, not white noise
+
+    def test_actuator_is_near_binary(self, rng):
+        channel = _actuator_channel(2000, rng)
+        near_zero = np.abs(channel) < 0.1
+        near_one = np.abs(channel - 1.0) < 0.1
+        assert (near_zero | near_one).mean() > 0.99
+
+    def test_actuator_switches_state(self, rng):
+        channel = _actuator_channel(5000, rng)
+        rounded = (channel > 0.5).astype(int)
+        assert 0 < rounded.mean() < 1  # both states occur
+
+    def test_sawtooth_ramps_up(self, rng):
+        channel = _sawtooth_channel(2000, rng)
+        increments = np.diff(channel)
+        # Mostly small positive steps with occasional large drops.
+        assert (increments > -0.05).mean() > 0.9
+        assert increments.min() < -0.3
+
+    def test_ar1_is_mean_reverting(self, rng):
+        channel = _ar1_channel(5000, rng)
+        assert abs(channel.mean()) < 1.0
+        # Strong lag-1 autocorrelation.
+        lag1 = np.corrcoef(channel[:-1], channel[1:])[0, 1]
+        assert lag1 > 0.9
+
+    def test_bursty_is_positive(self, rng):
+        channel = _bursty_channel(2000, rng)
+        assert np.all(channel > 0)
+        # Log-normal bursts give right skew.
+        assert channel.max() > 3 * np.median(channel)
+
+    def test_build_channels_mixture(self, rng):
+        data = _build_channels(500, 12, {"periodic": 0.5, "actuator": 0.5}, rng)
+        assert data.shape == (500, 12)
+        assert np.all(np.isfinite(data))
+
+
+class TestEventInjection:
+    def test_hits_target_ratio(self, rng):
+        data = rng.normal(size=(5000, 6))
+        _, labels = _inject_events(data, target_ratio=0.10, rng=rng)
+        assert labels.mean() == pytest.approx(0.10, abs=0.03)
+
+    def test_zero_ratio_injects_nothing(self, rng):
+        data = rng.normal(size=(1000, 4))
+        out, labels = _inject_events(data, target_ratio=0.0, rng=rng)
+        assert labels.sum() == 0
+        np.testing.assert_array_equal(out, data)
+
+    def test_changes_are_labelled(self, rng):
+        data = rng.normal(size=(3000, 5))
+        out, labels = _inject_events(data, target_ratio=0.05, rng=rng)
+        changed_rows = np.any(out != data, axis=1)
+        # Every modified observation lies in a labelled region.
+        assert np.all(labels[changed_rows] == 1)
+
+    def test_point_weight_zero_gives_segments(self, rng):
+        from repro.metrics import anomaly_segments
+        data = rng.normal(size=(5000, 4))
+        _, labels = _inject_events(
+            data, target_ratio=0.08, rng=rng,
+            point_weight=0.0, segment_length_range=(50, 100),
+        )
+        lengths = [stop - start for start, stop in anomaly_segments(labels)]
+        assert min(lengths) >= 2
+        assert max(lengths) >= 40

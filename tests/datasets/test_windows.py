@@ -1,0 +1,74 @@
+"""Windowing and series-scoring coverage tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import non_overlapping_windows, score_series, sliding_windows
+
+
+class TestSlidingWindows:
+    def test_counts_and_content(self, rng):
+        series = rng.normal(size=(10, 2))
+        windows = sliding_windows(series, size=4, stride=2)
+        assert windows.shape == (4, 4, 2)
+        np.testing.assert_array_equal(windows[0], series[0:4])
+        np.testing.assert_array_equal(windows[1], series[2:6])
+
+    def test_stride_one(self, rng):
+        series = rng.normal(size=(10, 1))
+        assert sliding_windows(series, 4, 1).shape == (7, 4, 1)
+
+    def test_series_shorter_than_window(self, rng):
+        windows = sliding_windows(rng.normal(size=(3, 2)), 5, 1)
+        assert windows.shape == (0, 5, 2)
+
+    def test_non_overlapping(self, rng):
+        series = rng.normal(size=(10, 1))
+        windows = non_overlapping_windows(series, 3)
+        assert windows.shape == (3, 3, 1)  # tail observation dropped
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            sliding_windows(rng.normal(size=(10, 1)), 0, 1)
+        with pytest.raises(ValueError):
+            sliding_windows(rng.normal(size=10), 4, 1)
+
+
+class TestScoreSeries:
+    @staticmethod
+    def _identity_score(batch: np.ndarray) -> np.ndarray:
+        """Score = value of the first feature (lets us verify alignment)."""
+        return batch[:, :, 0]
+
+    def test_exact_multiple(self, rng):
+        series = rng.normal(size=(20, 1))
+        scores = score_series(series, 5, self._identity_score)
+        np.testing.assert_allclose(scores, series[:, 0])
+
+    def test_tail_covered_by_overlapping_window(self, rng):
+        series = rng.normal(size=(23, 1))
+        scores = score_series(series, 5, self._identity_score)
+        np.testing.assert_allclose(scores, series[:, 0])
+
+    def test_series_shorter_than_window(self, rng):
+        series = rng.normal(size=(3, 1))
+        scores = score_series(series, 5, self._identity_score)
+        np.testing.assert_allclose(scores, series[:, 0])
+
+    def test_batching_consistent(self, rng):
+        series = rng.normal(size=(100, 2))
+        small = score_series(series, 10, self._identity_score, batch_size=1)
+        large = score_series(series, 10, self._identity_score, batch_size=64)
+        np.testing.assert_allclose(small, large)
+
+    @given(length=st.integers(1, 60), size=st.integers(2, 15))
+    @settings(max_examples=40, deadline=None)
+    def test_every_position_scored_once_property(self, length, size):
+        """Each observation's score equals its own value, for any length."""
+        series = np.arange(length, dtype=np.float64)[:, None]
+        scores = score_series(series, size, self._identity_score)
+        np.testing.assert_allclose(scores, series[:, 0])

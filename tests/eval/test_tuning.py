@@ -1,0 +1,63 @@
+"""Grid-search tuner tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TFMAEConfig
+from repro.eval.tuning import GridResult, grid_search
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    from repro.datasets import get_dataset
+    return get_dataset("NIPS-TS-Global", seed=0, scale=0.02)
+
+
+def _base() -> TFMAEConfig:
+    return TFMAEConfig(window_size=50, d_model=16, num_layers=1, num_heads=2,
+                       anomaly_ratio=5.0, epochs=2, batch_size=8,
+                       learning_rate=1e-3)
+
+
+class TestGridSearch:
+    def test_covers_full_product(self, small_dataset):
+        results = grid_search(
+            small_dataset,
+            grid={"temporal_mask_ratio": [20.0, 50.0], "frequency_mask_ratio": [20.0, 50.0]},
+            base=_base(),
+        )
+        assert len(results) == 4
+        seen = {tuple(sorted(r.overrides.items())) for r in results}
+        assert len(seen) == 4
+
+    def test_sorted_by_objective(self, small_dataset):
+        results = grid_search(
+            small_dataset,
+            grid={"temporal_mask_ratio": [10.0, 60.0]},
+            base=_base(),
+        )
+        assert results[0].f1 >= results[-1].f1
+
+    def test_auc_objective(self, small_dataset):
+        results = grid_search(
+            small_dataset,
+            grid={"temporal_mask_ratio": [10.0, 60.0]},
+            base=_base(),
+            objective="auc",
+        )
+        assert results[0].auc >= results[-1].auc
+        assert all(0.0 <= r.auc <= 1.0 for r in results)
+
+    def test_validation(self, small_dataset):
+        with pytest.raises(ValueError):
+            grid_search(small_dataset, grid={}, base=_base())
+        with pytest.raises(ValueError):
+            grid_search(small_dataset, grid={"epochs": [1]}, base=_base(),
+                        objective="accuracy")
+
+    def test_result_str(self):
+        result = GridResult(overrides={"x": 1}, f1=0.5, auc=0.9)
+        assert "F1=50.00%" in str(result)
+        assert "x=1" in str(result)

@@ -1,0 +1,126 @@
+"""Amplitude-based frequency masking tests (paper Eq. 6-10)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.masking import FrequencyMasker, amplitude_spectrum
+
+
+class TestAmplitudeSpectrum:
+    def test_shape(self, rng):
+        assert amplitude_spectrum(rng.normal(size=(2, 16, 3))).shape == (2, 16, 3)
+
+    def test_pure_tone_peaks_at_its_bin(self):
+        t = np.arange(64)
+        tone = np.sin(2 * np.pi * 8 * t / 64)[None, :, None]
+        amp = amplitude_spectrum(tone)[0, :, 0]
+        assert amp.argmax() in (8, 56)  # bin 8 and its conjugate
+
+    def test_non_negative(self, rng):
+        assert np.all(amplitude_spectrum(rng.normal(size=(1, 32, 2))) >= 0)
+
+
+class TestFrequencyMasker:
+    def test_mask_count_eq8(self, rng):
+        masker = FrequencyMasker(ratio=25.0, rng=rng)
+        result = masker(rng.normal(size=(2, 40, 3)))
+        assert result.num_masked == 10
+        assert result.masked_bins.shape == (2, 10, 3)
+
+    def test_zero_ratio_identity(self, rng):
+        windows = rng.normal(size=(2, 32, 2))
+        result = FrequencyMasker(ratio=0.0)(windows)
+        np.testing.assert_allclose(result.fixed, windows, atol=1e-12)
+        np.testing.assert_array_equal(result.cos_basis, 0.0)
+        assert result.num_masked == 0
+
+    def test_none_strategy_identity(self, rng):
+        windows = rng.normal(size=(1, 16, 1))
+        result = FrequencyMasker(ratio=50.0, strategy="none")(windows)
+        np.testing.assert_allclose(result.fixed, windows, atol=1e-12)
+
+    def test_decomposition_identity(self, rng):
+        """fixed + Re(m)*cos - Im(m)*sin == Re(IDFT(spectrum with m))."""
+        windows = rng.normal(size=(3, 32, 2))
+        masker = FrequencyMasker(ratio=30.0)
+        result = masker(windows)
+        m_re = rng.normal(size=2)
+        m_im = rng.normal(size=2)
+
+        spectrum = np.fft.fft(windows, axis=1)
+        mask = np.zeros_like(spectrum, dtype=bool)
+        rows = np.arange(3)[:, None, None]
+        cols = np.arange(2)[None, None, :]
+        mask[rows, result.masked_bins, cols] = True
+        replaced = np.where(mask, m_re + 1j * m_im, spectrum)
+        direct = np.fft.ifft(replaced, axis=1).real
+
+        via_basis = result.fixed + m_re * result.cos_basis - m_im * result.sin_basis
+        np.testing.assert_allclose(via_basis, direct, atol=1e-10)
+
+    def test_amplitude_strategy_masks_smallest(self, rng):
+        # Strong tone at bin 4 + weak noise elsewhere: the tone bins must
+        # survive a moderate mask.
+        t = np.arange(64)
+        tone = 10 * np.sin(2 * np.pi * 4 * t / 64)
+        windows = (tone + rng.normal(0, 0.1, 64))[None, :, None]
+        result = FrequencyMasker(ratio=50.0)(windows)
+        masked = set(result.masked_bins[0, :, 0].tolist())
+        assert 4 not in masked and 60 not in masked
+        # The dominant tone survives in the time domain.
+        correlation = np.corrcoef(result.fixed[0, :, 0], tone)[0, 1]
+        assert correlation > 0.99
+
+    def test_high_strategy_masks_near_nyquist(self, rng):
+        windows = rng.normal(size=(1, 40, 1))
+        result = FrequencyMasker(ratio=20.0, strategy="high")(windows)
+        masked = result.masked_bins[0, :, 0]
+        # Bins closest to time/2 = 20.
+        distances = np.abs(masked - 20)
+        assert distances.max() <= 4
+
+    def test_random_strategy_uses_rng(self, rng):
+        windows = rng.normal(size=(1, 40, 1))
+        a = FrequencyMasker(ratio=20.0, strategy="random", rng=np.random.default_rng(1))(windows)
+        b = FrequencyMasker(ratio=20.0, strategy="random", rng=np.random.default_rng(2))(windows)
+        assert not np.array_equal(a.masked_bins, b.masked_bins)
+
+    def test_per_feature_masks_differ(self, rng):
+        # Two channels with different spectra get different masked bins.
+        t = np.arange(64)
+        ch0 = np.sin(2 * np.pi * 3 * t / 64)
+        ch1 = np.sin(2 * np.pi * 13 * t / 64)
+        windows = np.stack([ch0, ch1], axis=1)[None]
+        result = FrequencyMasker(ratio=80.0)(windows)
+        assert not np.array_equal(result.masked_bins[0, :, 0], result.masked_bins[0, :, 1])
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            FrequencyMasker(ratio=-1.0)
+
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError):
+            FrequencyMasker(ratio=10.0, strategy="lowpass")
+
+    def test_requires_batched_input(self, rng):
+        with pytest.raises(ValueError):
+            FrequencyMasker(ratio=10.0)(rng.normal(size=(16, 1)))
+
+    @given(
+        ratio=st.floats(0.0, 95.0),
+        length=st.integers(8, 48),
+        seed=st.integers(0, 200),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_fixed_part_is_real_projection_property(self, ratio, length, seed):
+        """Zeroing bins then IDFT and taking the real part never produces
+        NaNs/inf, and masking all-but-none reproduces the input."""
+        windows = np.random.default_rng(seed).normal(size=(1, length, 1))
+        result = FrequencyMasker(ratio=ratio)(windows)
+        assert np.all(np.isfinite(result.fixed))
+        assert np.all(np.isfinite(result.cos_basis))
+        assert result.num_masked == int(ratio / 100.0 * length)

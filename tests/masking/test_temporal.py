@@ -1,0 +1,178 @@
+"""Window-based temporal masking tests (paper Eq. 1-5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.masking import (
+    TemporalMasker,
+    coefficient_of_variation_fft,
+    coefficient_of_variation_naive,
+    rolling_std,
+    top_indices,
+)
+
+
+class TestCoefficientOfVariation:
+    def test_fft_matches_naive_2d(self, rng):
+        series = rng.normal(size=(80, 3))
+        naive = coefficient_of_variation_naive(series, window=10)
+        fast = coefficient_of_variation_fft(series, window=10)
+        np.testing.assert_allclose(fast, naive, atol=1e-8)
+
+    def test_fft_matches_naive_batched(self, rng):
+        series = rng.normal(size=(4, 60, 2))
+        naive = coefficient_of_variation_naive(series, window=7)
+        fast = coefficient_of_variation_fft(series, window=7)
+        assert fast.shape == (4, 60)
+        np.testing.assert_allclose(fast, naive, atol=1e-8)
+
+    @given(
+        window=st.integers(1, 15),
+        length=st.integers(16, 60),
+        features=st.integers(1, 3),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_equivalence_property(self, window, length, features, seed):
+        """The FFT form (Eq. 4-5) equals the loop form (Eq. 1) everywhere."""
+        series = np.random.default_rng(seed).normal(size=(length, features))
+        naive = coefficient_of_variation_naive(series, window)
+        fast = coefficient_of_variation_fft(series, window)
+        np.testing.assert_allclose(fast, naive, atol=1e-6)
+
+    def test_window_one_is_zero(self, rng):
+        series = rng.normal(size=(20, 2))
+        np.testing.assert_array_equal(coefficient_of_variation_fft(series, 1), 0.0)
+
+    def test_spike_raises_statistic(self, rng):
+        series = np.zeros((100, 1)) + 1.0 + rng.normal(0, 0.01, size=(100, 1))
+        series[50, 0] = 10.0
+        stat = coefficient_of_variation_fft(series, window=10)
+        # Positions whose window covers the spike dominate.
+        assert stat[50:60].max() > 10 * np.delete(stat, np.s_[50:60]).max()
+
+    def test_scale_invariance(self, rng):
+        """CoV (variance over mean) shifts the statistic predictably under
+        scaling, unlike raw std — masking picks the same indices."""
+        series = rng.uniform(1.0, 2.0, size=(64, 1))
+        small = coefficient_of_variation_fft(series, 8)
+        large = coefficient_of_variation_fft(series * 1000.0, 8)
+        np.testing.assert_array_equal(np.argsort(small), np.argsort(large))
+
+    def test_invalid_window(self, rng):
+        with pytest.raises(ValueError):
+            coefficient_of_variation_naive(rng.normal(size=(10, 1)), 0)
+
+
+class TestRollingStd:
+    def test_matches_numpy_on_interior(self, rng):
+        series = rng.normal(size=(50, 1))
+        stat = rolling_std(series, window=5)
+        for t in range(4, 50):
+            expected = series[t - 4 : t + 1, 0].std(ddof=1)
+            assert stat[t] == pytest.approx(expected, abs=1e-8)
+
+    def test_not_scale_invariant(self, rng):
+        series = rng.uniform(1.0, 2.0, size=(32, 1))
+        np.testing.assert_allclose(rolling_std(series * 10.0, 4), rolling_std(series, 4) * 10.0)
+
+
+class TestTopIndices:
+    def test_selects_largest(self):
+        values = np.array([1.0, 9.0, 3.0, 7.0])
+        np.testing.assert_array_equal(top_indices(values, 2), [1, 3])
+
+    def test_returns_sorted(self, rng):
+        values = rng.normal(size=(50,))
+        idx = top_indices(values, 10)
+        assert np.all(np.diff(idx) > 0)
+
+    def test_batched(self, rng):
+        values = rng.normal(size=(4, 20))
+        idx = top_indices(values, 5)
+        assert idx.shape == (4, 5)
+        for b in range(4):
+            expected = set(np.argsort(values[b])[-5:])
+            assert set(idx[b]) == expected
+
+    def test_zero_count(self):
+        assert top_indices(np.ones(5), 0).shape == (0,)
+
+    def test_count_exceeds_size_raises(self):
+        with pytest.raises(ValueError):
+            top_indices(np.ones(3), 4)
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            top_indices(np.ones(3), -1)
+
+
+class TestTemporalMasker:
+    def test_mask_count_eq2(self, rng):
+        masker = TemporalMasker(ratio=25.0, window=5, rng=rng)
+        result = masker(rng.normal(size=(3, 40, 2)))
+        assert result.num_masked == 10  # floor(25% * 40)
+        assert result.mask.sum(axis=1).tolist() == [10, 10, 10]
+
+    def test_indices_partition_the_window(self, rng):
+        masker = TemporalMasker(ratio=30.0, rng=rng)
+        result = masker(rng.normal(size=(2, 50, 1)))
+        for b in range(2):
+            combined = np.concatenate([result.masked_indices[b], result.unmasked_indices[b]])
+            assert sorted(combined.tolist()) == list(range(50))
+
+    def test_unmasked_indices_ordered(self, rng):
+        masker = TemporalMasker(ratio=40.0, rng=rng)
+        result = masker(rng.normal(size=(2, 30, 1)))
+        assert np.all(np.diff(result.unmasked_indices, axis=1) > 0)
+
+    def test_cov_strategy_masks_planted_spikes(self, rng):
+        windows = np.zeros((1, 100, 1)) + rng.normal(1.0, 0.01, size=(1, 100, 1))
+        spikes = [20, 55, 80]
+        windows[0, spikes, 0] = 25.0
+        masker = TemporalMasker(ratio=20.0, window=5)
+        result = masker(windows)
+        for spike in spikes:
+            assert result.mask[0, spike], f"spike at {spike} not masked"
+
+    def test_none_strategy_masks_nothing(self, rng):
+        masker = TemporalMasker(ratio=50.0, strategy="none")
+        result = masker(rng.normal(size=(2, 20, 1)))
+        assert result.num_masked == 0
+        assert not result.mask.any()
+
+    def test_random_strategy_differs_from_cov(self, rng):
+        windows = rng.normal(size=(1, 200, 2))
+        cov = TemporalMasker(ratio=10.0, rng=np.random.default_rng(0))(windows)
+        rnd = TemporalMasker(ratio=10.0, strategy="random", rng=np.random.default_rng(0))(windows)
+        assert not np.array_equal(cov.masked_indices, rnd.masked_indices)
+
+    def test_fft_and_naive_pick_same_indices(self, rng):
+        windows = rng.normal(size=(2, 64, 3))
+        fast = TemporalMasker(ratio=25.0, use_fft=True)(windows)
+        slow = TemporalMasker(ratio=25.0, use_fft=False)(windows)
+        np.testing.assert_array_equal(fast.masked_indices, slow.masked_indices)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            TemporalMasker(ratio=120.0)
+
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError):
+            TemporalMasker(ratio=10.0, strategy="bogus")
+
+    def test_requires_batched_input(self, rng):
+        with pytest.raises(ValueError):
+            TemporalMasker(ratio=10.0)(rng.normal(size=(20, 2)))
+
+    @given(ratio=st.floats(0.0, 100.0), seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_mask_count_formula_property(self, ratio, seed):
+        """I^(T) = floor(r% * |S|) for every ratio (Eq. 2)."""
+        windows = np.random.default_rng(seed).normal(size=(1, 37, 1))
+        result = TemporalMasker(ratio=ratio)(windows)
+        assert result.num_masked == int(ratio / 100.0 * 37)

@@ -1,0 +1,124 @@
+"""Detection-metric tests: segments, point adjustment, P/R/F1."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metrics import (
+    anomaly_segments,
+    evaluate_detection,
+    point_adjust,
+    precision_recall_f1,
+)
+
+
+class TestAnomalySegments:
+    def test_basic_runs(self):
+        labels = np.array([0, 1, 1, 0, 0, 1, 0, 1, 1, 1])
+        assert anomaly_segments(labels) == [(1, 3), (5, 6), (7, 10)]
+
+    def test_all_zero(self):
+        assert anomaly_segments(np.zeros(5)) == []
+
+    def test_all_one(self):
+        assert anomaly_segments(np.ones(5)) == [(0, 5)]
+
+    def test_boundaries(self):
+        assert anomaly_segments(np.array([1, 0, 1])) == [(0, 1), (2, 3)]
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError):
+            anomaly_segments(np.zeros((2, 2)))
+
+
+class TestPointAdjust:
+    def test_one_hit_marks_whole_segment(self):
+        labels = np.array([0, 1, 1, 1, 0])
+        predictions = np.array([0, 0, 1, 0, 0])
+        np.testing.assert_array_equal(point_adjust(predictions, labels), [0, 1, 1, 1, 0])
+
+    def test_missed_segment_unchanged(self):
+        labels = np.array([0, 1, 1, 0, 1, 1])
+        predictions = np.array([0, 1, 0, 0, 0, 0])
+        np.testing.assert_array_equal(point_adjust(predictions, labels), [0, 1, 1, 0, 0, 0])
+
+    def test_false_positives_preserved(self):
+        labels = np.array([0, 0, 0, 1, 1])
+        predictions = np.array([1, 0, 0, 0, 1])
+        np.testing.assert_array_equal(point_adjust(predictions, labels), [1, 0, 0, 1, 1])
+
+    def test_does_not_mutate_inputs(self):
+        labels = np.array([1, 1, 0])
+        predictions = np.array([1, 0, 0])
+        point_adjust(predictions, labels)
+        np.testing.assert_array_equal(predictions, [1, 0, 0])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            point_adjust(np.zeros(3), np.zeros(4))
+
+    @given(
+        arrays(np.int64, st.integers(5, 50), elements=st.integers(0, 1)),
+        arrays(np.int64, st.integers(5, 50), elements=st.integers(0, 1)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_adjustment_never_hurts_recall_property(self, predictions, labels):
+        if predictions.shape != labels.shape:
+            return
+        raw = precision_recall_f1(predictions, labels)
+        adjusted = precision_recall_f1(point_adjust(predictions, labels), labels)
+        assert adjusted.recall >= raw.recall - 1e-12
+
+
+class TestPrecisionRecallF1:
+    def test_perfect(self):
+        labels = np.array([0, 1, 0, 1])
+        metrics = precision_recall_f1(labels, labels)
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+        assert metrics.f1 == 1.0
+
+    def test_known_values(self):
+        labels = np.array([1, 1, 1, 0, 0])
+        predictions = np.array([1, 0, 0, 1, 0])
+        metrics = precision_recall_f1(predictions, labels)
+        assert metrics.precision == pytest.approx(0.5)
+        assert metrics.recall == pytest.approx(1.0 / 3.0)
+        assert metrics.f1 == pytest.approx(0.4)
+
+    def test_no_predictions(self):
+        metrics = precision_recall_f1(np.zeros(5), np.array([1, 0, 0, 0, 0]))
+        assert metrics.precision == 0.0
+        assert metrics.recall == 0.0
+        assert metrics.f1 == 0.0
+
+    def test_no_anomalies_in_labels(self):
+        metrics = precision_recall_f1(np.array([1, 0, 0]), np.zeros(3))
+        assert metrics.recall == 0.0
+
+    def test_as_percent_and_str(self):
+        metrics = precision_recall_f1(np.array([1, 1]), np.array([1, 1]))
+        assert metrics.as_percent() == (100.0, 100.0, 100.0)
+        assert "F1=100.00%" in str(metrics)
+
+
+class TestEvaluateDetection:
+    def test_adjustment_improves_segment_recall(self):
+        labels = np.zeros(100, dtype=np.int64)
+        labels[40:60] = 1
+        predictions = np.zeros(100, dtype=np.int64)
+        predictions[45] = 1  # single hit inside the segment
+        raw = evaluate_detection(predictions, labels, adjust=False)
+        adjusted = evaluate_detection(predictions, labels, adjust=True)
+        assert raw.recall == pytest.approx(0.05)
+        assert adjusted.recall == 1.0
+
+    def test_adjust_flag_off_matches_plain(self):
+        labels = np.array([0, 1, 1, 0])
+        predictions = np.array([0, 1, 0, 0])
+        plain = precision_recall_f1(predictions, labels)
+        assert evaluate_detection(predictions, labels, adjust=False) == plain

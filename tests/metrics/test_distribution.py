@@ -1,0 +1,64 @@
+"""Score-distribution diagnostics tests (Fig. 9 machinery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import cdf_gap, empirical_cdf, ks_distance
+
+
+class TestEmpiricalCdf:
+    def test_monotone_zero_to_one(self, rng):
+        grid, cdf = empirical_cdf(rng.normal(size=1000))
+        assert np.all(np.diff(cdf) >= 0)
+        assert cdf[0] >= 0.0
+        assert cdf[-1] == 1.0
+
+    def test_shared_grid(self, rng):
+        scores = rng.normal(size=100)
+        grid = np.linspace(-5, 5, 50)
+        out_grid, cdf = empirical_cdf(scores, grid)
+        assert out_grid is grid
+        assert cdf.shape == (50,)
+
+    def test_known_values(self):
+        grid, cdf = empirical_cdf(np.array([1.0, 2.0, 3.0, 4.0]), np.array([2.5]))
+        assert cdf[0] == pytest.approx(0.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            empirical_cdf(np.array([]))
+
+
+class TestGapMeasures:
+    def test_identical_distributions_near_zero(self, rng):
+        scores = rng.normal(size=5000)
+        assert cdf_gap(scores, scores) == 0.0
+        assert ks_distance(scores, scores) == 0.0
+
+    def test_shifted_distributions_large_gap(self, rng):
+        a = rng.normal(0, 1, 5000)
+        b = rng.normal(3, 1, 5000)
+        assert cdf_gap(a, b) > 0.2
+        assert ks_distance(a, b) > 0.8
+
+    def test_ks_bounds(self, rng):
+        a = rng.normal(size=100)
+        b = rng.normal(size=100)
+        distance = ks_distance(a, b)
+        assert 0.0 <= distance <= 1.0
+
+    def test_symmetry(self, rng):
+        a = rng.normal(0, 1, 500)
+        b = rng.normal(1, 2, 500)
+        assert cdf_gap(a, b) == pytest.approx(cdf_gap(b, a))
+        assert ks_distance(a, b) == pytest.approx(ks_distance(b, a))
+
+    def test_matches_scipy_ks(self, rng):
+        from scipy.stats import ks_2samp
+        a = rng.normal(0, 1, 400)
+        b = rng.normal(0.5, 1, 400)
+        ours = ks_distance(a, b, grid_size=4096)
+        reference = ks_2samp(a, b).statistic
+        assert ours == pytest.approx(reference, abs=0.02)

@@ -1,0 +1,73 @@
+"""Score post-processing tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.postprocess import debounce_alarms, ewma_smooth, moving_average_smooth
+
+
+class TestEwmaSmooth:
+    def test_alpha_one_is_identity(self, rng):
+        scores = rng.normal(size=50)
+        np.testing.assert_allclose(ewma_smooth(scores, alpha=1.0), scores)
+
+    def test_reduces_variance(self, rng):
+        scores = rng.normal(size=5000)
+        assert ewma_smooth(scores, alpha=0.1).std() < 0.5 * scores.std()
+
+    def test_causal(self, rng):
+        """Changing a future score never changes earlier outputs."""
+        scores = rng.normal(size=30)
+        modified = scores.copy()
+        modified[20] += 100.0
+        a = ewma_smooth(scores, alpha=0.3)
+        b = ewma_smooth(modified, alpha=0.3)
+        np.testing.assert_array_equal(a[:20], b[:20])
+
+    def test_constant_preserved(self):
+        np.testing.assert_allclose(ewma_smooth(np.full(10, 3.0), alpha=0.4), 3.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            ewma_smooth(np.ones(3), alpha=0.0)
+
+
+class TestMovingAverage:
+    def test_window_one_is_identity(self, rng):
+        scores = rng.normal(size=20)
+        np.testing.assert_allclose(moving_average_smooth(scores, 1), scores)
+
+    def test_trailing_semantics(self):
+        scores = np.array([1.0, 2.0, 3.0, 4.0])
+        out = moving_average_smooth(scores, window=2)
+        np.testing.assert_allclose(out, [1.0, 1.5, 2.5, 3.5])
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average_smooth(np.ones(3), 0)
+
+
+class TestDebounce:
+    def test_merges_close_runs(self):
+        alarms = np.array([1, 1, 0, 0, 1, 1, 0, 0, 0, 0, 0, 0, 1])
+        out = debounce_alarms(alarms, merge_gap=2, min_length=1)
+        np.testing.assert_array_equal(out[:6], 1)   # first two runs merged
+        assert out[12] == 1                          # far run kept separate
+        assert out[8:12].sum() == 0
+
+    def test_drops_blips(self):
+        alarms = np.array([0, 1, 0, 0, 1, 1, 1, 0])
+        out = debounce_alarms(alarms, merge_gap=0, min_length=2)
+        assert out[1] == 0
+        np.testing.assert_array_equal(out[4:7], 1)
+
+    def test_empty_stream(self):
+        np.testing.assert_array_equal(debounce_alarms(np.zeros(5)), np.zeros(5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            debounce_alarms(np.ones(3), merge_gap=-1)
+        with pytest.raises(ValueError):
+            debounce_alarms(np.ones(3), min_length=0)

@@ -1,0 +1,92 @@
+"""Range-based precision/recall tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.metrics.range_based import range_precision_recall
+
+
+class TestRangePrecisionRecall:
+    def test_perfect_match(self):
+        labels = np.array([0, 1, 1, 0, 1, 0])
+        metrics = range_precision_recall(labels, labels)
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+
+    def test_half_overlap_recall(self):
+        labels = np.zeros(20, dtype=int)
+        labels[5:15] = 1
+        predictions = np.zeros(20, dtype=int)
+        predictions[5:10] = 1  # half the true range
+        metrics = range_precision_recall(predictions, labels, alpha=0.5)
+        # recall = 0.5 * existence(1) + 0.5 * overlap(0.5) = 0.75
+        assert metrics.recall == pytest.approx(0.75)
+        assert metrics.precision == 1.0
+
+    def test_alpha_extremes(self):
+        labels = np.zeros(20, dtype=int)
+        labels[5:15] = 1
+        predictions = np.zeros(20, dtype=int)
+        predictions[5:6] = 1  # tiny sliver of the range
+        existence_only = range_precision_recall(predictions, labels, alpha=1.0)
+        overlap_only = range_precision_recall(predictions, labels, alpha=0.0)
+        assert existence_only.recall == 1.0
+        assert overlap_only.recall == pytest.approx(0.1)
+
+    def test_stricter_than_point_adjustment(self):
+        """The motivating property: one-point hits earn far less credit
+        than under point adjustment."""
+        from repro.metrics import evaluate_detection
+        labels = np.zeros(100, dtype=int)
+        labels[10:60] = 1
+        predictions = np.zeros(100, dtype=int)
+        predictions[30] = 1
+        adjusted = evaluate_detection(predictions, labels, adjust=True)
+        ranged = range_precision_recall(predictions, labels)
+        assert adjusted.recall == 1.0
+        assert ranged.recall < 0.6
+
+    def test_false_positive_range_hurts_precision(self):
+        labels = np.zeros(30, dtype=int)
+        labels[5:10] = 1
+        predictions = np.zeros(30, dtype=int)
+        predictions[5:10] = 1
+        predictions[20:25] = 1  # entirely outside truth
+        metrics = range_precision_recall(predictions, labels)
+        assert metrics.precision == pytest.approx(0.5)
+
+    def test_empty_predictions(self):
+        labels = np.array([0, 1, 1, 0])
+        metrics = range_precision_recall(np.zeros(4, dtype=int), labels)
+        assert metrics.precision == 0.0
+        assert metrics.recall == 0.0
+        assert metrics.f1 == 0.0
+
+    def test_no_true_anomalies(self):
+        predictions = np.array([0, 1, 0, 0])
+        metrics = range_precision_recall(predictions, np.zeros(4, dtype=int))
+        assert metrics.recall == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            range_precision_recall(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            range_precision_recall(np.zeros(3), np.zeros(3), alpha=2.0)
+
+    @given(
+        arrays(np.int64, st.integers(5, 60), elements=st.integers(0, 1)),
+        arrays(np.int64, st.integers(5, 60), elements=st.integers(0, 1)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_property(self, predictions, labels):
+        if predictions.shape != labels.shape:
+            return
+        metrics = range_precision_recall(predictions, labels)
+        assert 0.0 <= metrics.precision <= 1.0
+        assert 0.0 <= metrics.recall <= 1.0
+        assert 0.0 <= metrics.f1 <= 1.0

@@ -1,0 +1,82 @@
+"""ROC-AUC and average-precision tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import average_precision, roc_auc
+
+
+class TestRocAuc:
+    def test_perfect_ranking(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([0, 0, 1, 1])
+        assert roc_auc(scores, labels) == 1.0
+
+    def test_inverted_ranking(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        labels = np.array([0, 0, 1, 1])
+        assert roc_auc(scores, labels) == 0.0
+
+    def test_random_scores_near_half(self, rng):
+        scores = rng.random(20_000)
+        labels = rng.random(20_000) < 0.3
+        assert roc_auc(scores, labels) == pytest.approx(0.5, abs=0.02)
+
+    def test_all_tied_is_half(self):
+        scores = np.ones(10)
+        labels = np.array([1, 0] * 5)
+        assert roc_auc(scores, labels) == pytest.approx(0.5)
+
+    def test_hand_computed(self):
+        # positives: 3, 1; negatives: 2, 0 -> pairs won: (3>2,3>0,1>0)=3/4
+        scores = np.array([3.0, 1.0, 2.0, 0.0])
+        labels = np.array([1, 1, 0, 0])
+        assert roc_auc(scores, labels) == pytest.approx(0.75)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.array([1.0, 2.0]), np.array([1, 1]))
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.zeros(3), np.zeros(4))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_invariant_to_monotone_transform(self, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=50)
+        labels = rng.random(50) < 0.4
+        if labels.all() or not labels.any():
+            return
+        original = roc_auc(scores, labels)
+        transformed = roc_auc(np.exp(scores), labels)
+        assert original == pytest.approx(transformed, abs=1e-12)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        labels = np.array([0, 0, 1, 1])
+        assert average_precision(scores, labels) == 1.0
+
+    def test_hand_computed(self):
+        # Descending: pos, neg, pos, neg -> precisions at hits: 1/1, 2/3.
+        scores = np.array([4.0, 3.0, 2.0, 1.0])
+        labels = np.array([1, 0, 1, 0])
+        assert average_precision(scores, labels) == pytest.approx((1.0 + 2.0 / 3.0) / 2.0)
+
+    def test_baseline_matches_prevalence(self, rng):
+        scores = rng.random(50_000)
+        labels = rng.random(50_000) < 0.2
+        assert average_precision(scores, labels) == pytest.approx(0.2, abs=0.02)
+
+    def test_bounded(self, rng):
+        scores = rng.normal(size=200)
+        labels = rng.random(200) < 0.5
+        value = average_precision(scores, labels)
+        assert 0.0 < value <= 1.0

@@ -1,0 +1,68 @@
+"""Threshold-selection tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics import apply_threshold, best_f1_threshold, ratio_threshold
+
+
+class TestRatioThreshold:
+    def test_flags_expected_fraction(self, rng):
+        scores = rng.normal(size=10_000)
+        threshold = ratio_threshold(scores, anomaly_ratio=1.0)
+        flagged = (scores >= threshold).mean()
+        assert flagged == pytest.approx(0.01, abs=0.002)
+
+    def test_monotone_in_ratio(self, rng):
+        scores = rng.normal(size=1000)
+        assert ratio_threshold(scores, 0.5) >= ratio_threshold(scores, 5.0)
+
+    def test_flattens_input(self, rng):
+        scores = rng.normal(size=(10, 10))
+        assert ratio_threshold(scores, 1.0) == ratio_threshold(scores.reshape(-1), 1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ratio_threshold(np.array([]), 1.0)
+
+    def test_out_of_range_ratio_raises(self, rng):
+        scores = rng.normal(size=10)
+        with pytest.raises(ValueError):
+            ratio_threshold(scores, 0.0)
+        with pytest.raises(ValueError):
+            ratio_threshold(scores, 100.0)
+
+
+class TestApplyThreshold:
+    def test_eq17_semantics(self):
+        """Score >= delta means anomaly, strictly below means normal."""
+        scores = np.array([0.1, 0.5, 0.5, 0.9])
+        np.testing.assert_array_equal(apply_threshold(scores, 0.5), [0, 1, 1, 1])
+
+    def test_returns_int64(self):
+        assert apply_threshold(np.array([1.0]), 0.5).dtype == np.int64
+
+
+class TestBestF1Threshold:
+    def test_recovers_separable_threshold(self, rng):
+        scores = np.concatenate([rng.normal(0, 0.1, 900), rng.normal(5, 0.1, 100)])
+        labels = np.concatenate([np.zeros(900), np.ones(100)])
+        threshold, f1 = best_f1_threshold(scores, labels, adjust=False)
+        assert f1 == pytest.approx(1.0)
+        assert 0.5 < threshold < 4.5
+
+    def test_alignment_required(self, rng):
+        with pytest.raises(ValueError):
+            best_f1_threshold(rng.normal(size=10), np.zeros(9))
+
+    def test_oracle_at_least_ratio_threshold(self, rng):
+        """The oracle sweep can never do worse than any fixed threshold."""
+        from repro.metrics import evaluate_detection
+        scores = rng.normal(size=500)
+        labels = (rng.random(500) < 0.1).astype(int)
+        _, oracle_f1 = best_f1_threshold(scores, labels)
+        fixed = ratio_threshold(scores, 10.0)
+        fixed_f1 = evaluate_detection(apply_threshold(scores, fixed), labels).f1
+        assert oracle_f1 >= fixed_f1 - 1e-9

@@ -1,0 +1,71 @@
+"""Multi-head self-attention tests (paper Eq. 12)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import MultiHeadSelfAttention, Tensor
+
+
+class TestAttention:
+    def test_output_shape(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng)
+        assert attn(Tensor(rng.normal(size=(3, 5, 8)))).shape == (3, 5, 8)
+
+    def test_dim_must_divide_heads(self, rng):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(7, 2, rng)
+
+    def test_attention_weights_rows_sum_to_one(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng)
+        attn(Tensor(rng.normal(size=(2, 6, 8))))
+        weights = attn.last_attention
+        assert weights.shape == (2, 2, 6, 6)
+        np.testing.assert_allclose(weights.sum(axis=-1), 1.0, atol=1e-12)
+
+    def test_attention_graph_flag(self, rng):
+        plain = MultiHeadSelfAttention(8, 2, rng)
+        plain(Tensor(rng.normal(size=(1, 4, 8))))
+        assert plain.last_attention_tensor is None
+
+        kept = MultiHeadSelfAttention(8, 2, rng, keep_attention_graph=True)
+        kept(Tensor(rng.normal(size=(1, 4, 8))))
+        assert kept.last_attention_tensor is not None
+        assert kept.last_attention_tensor.shape == (1, 2, 4, 4)
+
+    def test_permutation_equivariance(self, rng):
+        # Without positional encoding, self-attention commutes with
+        # permutations of the time axis.
+        attn = MultiHeadSelfAttention(8, 2, rng)
+        x = rng.normal(size=(1, 5, 8))
+        perm = rng.permutation(5)
+        out = attn(Tensor(x)).data
+        out_perm = attn(Tensor(x[:, perm, :])).data
+        np.testing.assert_allclose(out[:, perm, :], out_perm, atol=1e-10)
+
+    def test_gradients_reach_all_projections(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng)
+        (attn(Tensor(rng.normal(size=(2, 5, 8)))) ** 2).mean().backward()
+        for proj in (attn.q_proj, attn.k_proj, attn.v_proj, attn.out_proj):
+            assert proj.weight.grad is not None
+            assert np.abs(proj.weight.grad).sum() > 0
+
+    def test_attention_dropout_only_in_training(self, rng):
+        attn = MultiHeadSelfAttention(8, 2, rng, dropout=0.5)
+        x = Tensor(rng.normal(size=(1, 6, 8)))
+        attn.train()
+        stochastic_a = attn(x).data
+        stochastic_b = attn(x).data
+        assert not np.allclose(stochastic_a, stochastic_b)
+        attn.eval()
+        deterministic_a = attn(x).data
+        deterministic_b = attn(x).data
+        np.testing.assert_array_equal(deterministic_a, deterministic_b)
+
+    def test_uniform_attention_for_identical_tokens(self, rng):
+        # Identical tokens => identical scores => uniform attention rows.
+        attn = MultiHeadSelfAttention(8, 2, rng)
+        x = np.tile(rng.normal(size=(1, 1, 8)), (1, 6, 1))
+        attn(Tensor(x))
+        np.testing.assert_allclose(attn.last_attention, 1.0 / 6.0, atol=1e-12)

@@ -1,0 +1,103 @@
+"""Property-based fuzzing of the autograd engine.
+
+Builds random expression graphs from a pool of differentiable operations
+and checks the backpropagated gradient of a scalar output against central
+finite differences.  This complements the per-op tests: composition bugs
+(wrong accumulation, stale graph edges, broadcasting in deep chains) only
+appear in random DAGs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor
+from tests.conftest import numerical_gradient
+
+# Unary ops kept smooth and bounded so finite differences are accurate.
+_UNARY = [
+    lambda x: x.tanh(),
+    lambda x: x.sigmoid(),
+    lambda x: (x * 0.5).exp(),
+    lambda x: (x * x + 1.0).log(),
+    lambda x: (x * x + 0.5).sqrt(),
+    lambda x: x.softmax(axis=-1),
+    lambda x: x * 2.0 - 1.0,
+    lambda x: x.reshape(*reversed(x.shape)) if x.ndim == 2 else x,
+    lambda x: x.T if x.ndim == 2 else x,
+]
+
+_BINARY = [
+    lambda a, b: a + b,
+    lambda a, b: a - b,
+    lambda a, b: a * b,
+    lambda a, b: a / (b * b + 1.0),
+]
+
+
+def _build_graph(x: Tensor, program: list[tuple[str, int]]) -> Tensor:
+    """Interpret a small program as a DAG rooted at ``x``.
+
+    Each step applies either a unary op to the latest node or a binary op
+    combining the latest node with an earlier one — so the input is used
+    through many paths and gradient accumulation is exercised.
+    """
+    nodes = [x]
+    for kind, index in program:
+        latest = nodes[-1]
+        if kind == "unary":
+            nodes.append(_UNARY[index % len(_UNARY)](latest))
+        else:
+            other = nodes[index % len(nodes)]
+            if other.shape != latest.shape:
+                other = nodes[0] if nodes[0].shape == latest.shape else latest
+            nodes.append(_BINARY[index % len(_BINARY)](latest, other))
+    return nodes[-1]
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    rows=st.integers(2, 4),
+    cols=st.integers(2, 4),
+    program=st.lists(
+        st.tuples(st.sampled_from(["unary", "binary"]), st.integers(0, 30)),
+        min_size=2, max_size=8,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_random_graph_gradients(seed, rows, cols, program):
+    x0 = np.random.default_rng(seed).uniform(-1.5, 1.5, size=(rows, cols))
+
+    def forward(arr: np.ndarray) -> Tensor:
+        return _build_graph(Tensor(arr), program)
+
+    x = Tensor(x0.copy(), requires_grad=True)
+    output = _build_graph(x, program)
+    (output * output).mean().backward()
+    assert x.grad is not None
+
+    numeric = numerical_gradient(
+        lambda arr: float((forward(arr) * forward(arr)).mean().data), x0, eps=1e-6
+    )
+    np.testing.assert_allclose(x.grad, numeric, atol=2e-4, rtol=2e-4)
+
+
+@given(seed=st.integers(0, 1000), depth=st.integers(1, 30))
+@settings(max_examples=30, deadline=None)
+def test_deep_chain_gradients(seed, depth):
+    """Long unary chains keep gradients correct (no graph truncation)."""
+    x0 = np.random.default_rng(seed).uniform(-1.0, 1.0, size=(3,))
+
+    def forward(arr):
+        node = Tensor(arr) if not isinstance(arr, Tensor) else arr
+        for i in range(depth):
+            node = _UNARY[i % 5](node)
+        return node.sum()
+
+    x = Tensor(x0.copy(), requires_grad=True)
+    forward(x).backward()
+    numeric = numerical_gradient(lambda arr: float(forward(arr).data), x0, eps=1e-6)
+    np.testing.assert_allclose(x.grad, numeric, atol=1e-4)

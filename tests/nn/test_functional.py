@@ -1,0 +1,175 @@
+"""Tests for the stateless ops: activations, normalisation, divergences."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+from tests.conftest import numerical_gradient
+
+
+class TestActivations:
+    def test_relu_values(self):
+        out = F.relu(Tensor([-1.0, 0.0, 2.0]))
+        np.testing.assert_array_equal(out.data, [0.0, 0.0, 2.0])
+
+    def test_gelu_limits(self):
+        # GELU(x) ~ x for large positive x, ~0 for large negative x.
+        out = F.gelu(Tensor([-10.0, 0.0, 10.0]))
+        np.testing.assert_allclose(out.data, [0.0, 0.0, 10.0], atol=1e-3)
+
+    def test_gelu_gradient(self, rng):
+        x0 = rng.normal(size=(5,))
+        x = Tensor(x0.copy(), requires_grad=True)
+        F.gelu(x).sum().backward()
+        numeric = numerical_gradient(lambda a: float(F.gelu(Tensor(a)).data.sum()), x0)
+        np.testing.assert_allclose(x.grad, numeric, atol=1e-5)
+
+    def test_sigmoid_tanh_range(self, rng):
+        x = Tensor(rng.normal(size=(100,)) * 5.0)
+        assert np.all((F.sigmoid(x).data > 0) & (F.sigmoid(x).data < 1))
+        assert np.all((F.tanh(x).data > -1) & (F.tanh(x).data < 1))
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(10, 10)))
+        out = F.dropout(x, p=0.5, training=False)
+        assert out is x
+
+    def test_zero_probability_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(4,)))
+        assert F.dropout(x, p=0.0, training=True) is x
+
+    def test_training_mode_scales(self, rng):
+        x = Tensor(np.ones((2000,)))
+        out = F.dropout(x, p=0.5, training=True, rng=rng)
+        kept = out.data != 0
+        # Inverted dropout rescales survivors by 1/(1-p).
+        np.testing.assert_allclose(out.data[kept], 2.0)
+        assert 0.35 < kept.mean() < 0.65
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor([1.0]), p=1.5, training=True)
+
+    def test_seeded_rng_reproducible(self):
+        x = Tensor(np.ones(100))
+        a = F.dropout(x, p=0.5, training=True, rng=np.random.default_rng(7)).data
+        b = F.dropout(x, p=0.5, training=True, rng=np.random.default_rng(7)).data
+        np.testing.assert_array_equal(a, b)
+
+    def test_dropout_gradient_masks_match(self):
+        x = Tensor(np.ones(50), requires_grad=True)
+        out = F.dropout(x, p=0.5, training=True, rng=np.random.default_rng(3))
+        out.sum().backward()
+        # Gradient is 1/(1-p) where kept, 0 where dropped.
+        kept = out.data != 0
+        np.testing.assert_allclose(x.grad[kept], 2.0)
+        np.testing.assert_allclose(x.grad[~kept], 0.0)
+
+
+class TestLayerNorm:
+    def test_normalises_trailing_axis(self, rng):
+        x = Tensor(rng.normal(2.0, 5.0, size=(4, 8)))
+        out = F.layer_norm(x, Tensor(np.ones(8)), Tensor(np.zeros(8)))
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.data.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_affine_params_apply(self, rng):
+        x = Tensor(rng.normal(size=(4, 8)))
+        out = F.layer_norm(x, Tensor(np.full(8, 2.0)), Tensor(np.full(8, 3.0)))
+        np.testing.assert_allclose(out.data.mean(axis=-1), 3.0, atol=1e-10)
+
+
+class TestLosses:
+    def test_mse_zero_for_identical(self, rng):
+        x = Tensor(rng.normal(size=(3, 4)))
+        assert F.mse_loss(x, Tensor(x.data.copy())).item() == 0.0
+
+    def test_mse_known_value(self):
+        loss = F.mse_loss(Tensor([1.0, 2.0]), Tensor([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_mae_known_value(self):
+        loss = F.mae_loss(Tensor([1.0, -2.0]), Tensor([0.0, 0.0]))
+        assert loss.item() == pytest.approx(1.5)
+
+    def test_bce_perfect_prediction_near_zero(self):
+        loss = F.binary_cross_entropy(Tensor([1.0, 0.0]), Tensor([1.0, 0.0]))
+        assert loss.item() < 1e-5
+
+    def test_bce_clips_extremes(self):
+        # Probabilities exactly 0/1 with opposite targets must stay finite.
+        loss = F.binary_cross_entropy(Tensor([0.0, 1.0]), Tensor([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+
+
+class TestKLDivergence:
+    def test_zero_for_identical_logits(self, rng):
+        x = Tensor(rng.normal(size=(3, 5)))
+        assert F.kl_divergence(x, Tensor(x.data.copy())).item() == pytest.approx(0.0, abs=1e-12)
+
+    def test_non_negative(self, rng):
+        p = Tensor(rng.normal(size=(10, 5)))
+        q = Tensor(rng.normal(size=(10, 5)))
+        per_position = F.kl_divergence(p, q, reduce=False)
+        assert np.all(per_position.data >= -1e-12)
+
+    def test_asymmetric(self, rng):
+        p = Tensor(rng.normal(size=(2, 5)))
+        q = Tensor(rng.normal(size=(2, 5)))
+        assert F.kl_divergence(p, q).item() != pytest.approx(F.kl_divergence(q, p).item())
+
+    def test_symmetric_kl_is_symmetric(self, rng):
+        p = Tensor(rng.normal(size=(2, 5)))
+        q = Tensor(rng.normal(size=(2, 5)))
+        assert F.symmetric_kl(p, q).item() == pytest.approx(F.symmetric_kl(q, p).item())
+
+    def test_reduce_false_shape(self, rng):
+        p = Tensor(rng.normal(size=(2, 7, 5)))
+        q = Tensor(rng.normal(size=(2, 7, 5)))
+        assert F.symmetric_kl(p, q, reduce=False).shape == (2, 7)
+
+    def test_gradient_matches_numerical(self, rng):
+        q = Tensor(rng.normal(size=(3, 4)))
+        x0 = rng.normal(size=(3, 4))
+        x = Tensor(x0.copy(), requires_grad=True)
+        F.symmetric_kl(x, q).backward()
+        numeric = numerical_gradient(
+            lambda a: float(F.symmetric_kl(Tensor(a), q).data), x0
+        )
+        np.testing.assert_allclose(x.grad, numeric, atol=1e-6)
+
+    @given(
+        arrays(np.float64, st.tuples(st.integers(1, 4), st.integers(2, 6)),
+               elements=st.floats(-5, 5)),
+        arrays(np.float64, st.tuples(st.integers(1, 4), st.integers(2, 6)),
+               elements=st.floats(-5, 5)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_kl_nonnegativity_property(self, a, b):
+        if a.shape != b.shape:
+            return
+        value = F.kl_divergence(Tensor(a), Tensor(b)).item()
+        assert value >= -1e-10
+
+    def test_extreme_logits_stay_finite(self):
+        """The max-shift inside (log_)softmax keeps huge logits from
+        overflowing; the KL of extreme distributions must be finite."""
+        huge = Tensor(np.array([[1e6, -1e6, 0.0]]))
+        tiny = Tensor(np.array([[-1e6, 1e6, 0.0]]))
+        value = F.symmetric_kl(huge, tiny).item()
+        assert np.isfinite(value)
+        assert value > 0
+
+    def test_extreme_logits_gradients_finite(self):
+        x = Tensor(np.array([[500.0, -500.0, 0.0]]), requires_grad=True)
+        other = Tensor(np.array([[0.0, 0.0, 0.0]]))
+        F.symmetric_kl(x, other).backward()
+        assert np.all(np.isfinite(x.grad))

@@ -1,0 +1,57 @@
+"""Weight-initialisation tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestInitialisers:
+    def test_xavier_uniform_bounds(self, rng):
+        weights = init.xavier_uniform((100, 200), rng)
+        bound = np.sqrt(6.0 / 300)
+        assert np.all(np.abs(weights) <= bound)
+        assert weights.std() > 0.5 * bound / np.sqrt(3)  # actually spread out
+
+    def test_xavier_normal_variance(self, rng):
+        weights = init.xavier_normal((500, 500), rng)
+        expected_std = np.sqrt(2.0 / 1000)
+        assert weights.std() == pytest.approx(expected_std, rel=0.1)
+
+    def test_kaiming_uniform_bounds(self, rng):
+        weights = init.kaiming_uniform((100, 50), rng)
+        assert np.all(np.abs(weights) <= np.sqrt(6.0 / 100))
+
+    def test_gain_scales(self, rng):
+        small = init.xavier_uniform((50, 50), np.random.default_rng(0), gain=1.0)
+        large = init.xavier_uniform((50, 50), np.random.default_rng(0), gain=2.0)
+        np.testing.assert_allclose(large, 2.0 * small)
+
+    def test_normal_std(self, rng):
+        weights = init.normal((10_000,), rng, std=0.02)
+        assert weights.std() == pytest.approx(0.02, rel=0.1)
+
+    def test_zeros(self):
+        np.testing.assert_array_equal(init.zeros((3, 4)), np.zeros((3, 4)))
+
+    def test_1d_fans(self, rng):
+        # 1-D shapes (e.g. mask tokens) treat the size as both fans.
+        weights = init.xavier_uniform((64,), rng)
+        assert weights.shape == (64,)
+
+    def test_conv_fans(self, rng):
+        # (out, in, kernel) shapes include the receptive field in the fans.
+        weights = init.xavier_uniform((8, 4, 3), rng)
+        bound = np.sqrt(6.0 / (4 * 3 + 8 * 3))
+        assert np.all(np.abs(weights) <= bound)
+
+    def test_empty_shape_rejected(self, rng):
+        with pytest.raises(ValueError):
+            init.xavier_uniform((), rng)
+
+    def test_deterministic_with_seeded_rng(self):
+        a = init.xavier_uniform((5, 5), np.random.default_rng(42))
+        b = init.xavier_uniform((5, 5), np.random.default_rng(42))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,132 @@
+"""Module system tests: registration, traversal, state dicts, freezing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, Module, Parameter, Sequential, Tensor
+from repro.nn.module import frozen
+
+
+class _TwoLayer(Module):
+    def __init__(self, rng):
+        super().__init__()
+        self.first = Linear(3, 4, rng)
+        self.second = Linear(4, 2, rng)
+        self.scale = Parameter(np.ones(1))
+
+    def forward(self, x):
+        return self.second(self.first(x)) * self.scale
+
+
+class TestRegistration:
+    def test_parameters_enumerated_recursively(self, rng):
+        model = _TwoLayer(rng)
+        names = [name for name, _ in model.named_parameters()]
+        assert "first.weight" in names
+        assert "second.bias" in names
+        assert "scale" in names
+        assert len(list(model.parameters())) == 5
+
+    def test_num_parameters(self, rng):
+        model = _TwoLayer(rng)
+        assert model.num_parameters() == 3 * 4 + 4 + 4 * 2 + 2 + 1
+
+    def test_children(self, rng):
+        model = _TwoLayer(rng)
+        assert len(list(model.children())) == 2
+
+    def test_train_eval_propagates(self, rng):
+        model = _TwoLayer(rng)
+        assert model.training
+        model.eval()
+        assert not model.training
+        assert not model.first.training
+        model.train()
+        assert model.first.training
+
+    def test_zero_grad_clears_all(self, rng):
+        model = _TwoLayer(rng)
+        out = model(Tensor(rng.normal(size=(2, 3))))
+        (out * out).mean().backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        source = _TwoLayer(rng)
+        target = _TwoLayer(np.random.default_rng(99))
+        target.load_state_dict(source.state_dict())
+        for (_, a), (_, b) in zip(source.named_parameters(), target.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_state_dict_is_a_copy(self, rng):
+        model = _TwoLayer(rng)
+        state = model.state_dict()
+        state["scale"][:] = 99.0
+        assert model.scale.data[0] == 1.0
+
+    def test_missing_key_raises(self, rng):
+        model = _TwoLayer(rng)
+        state = model.state_dict()
+        del state["scale"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self, rng):
+        model = _TwoLayer(rng)
+        state = model.state_dict()
+        state["scale"] = np.ones(7)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+
+class TestFreezing:
+    def test_freeze_is_permanent(self, rng):
+        model = _TwoLayer(rng)
+        model.freeze()
+        out = model(Tensor(rng.normal(size=(2, 3)), requires_grad=False))
+        assert not out.requires_grad
+
+    def test_frozen_context_restores(self, rng):
+        model = _TwoLayer(rng)
+        x = Tensor(rng.normal(size=(2, 3)))
+        with frozen(model):
+            inside = model(x)
+            assert not inside.requires_grad
+        outside = model(x)
+        assert outside.requires_grad
+
+    def test_frozen_blocks_param_grads_but_not_input_grads(self, rng):
+        model = _TwoLayer(rng)
+        x = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        with frozen(model):
+            (model(x) ** 2).mean().backward()
+        assert x.grad is not None
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_frozen_restores_partial_freeze(self, rng):
+        # A module with some already-frozen parameters keeps them frozen
+        # after the context exits.
+        model = _TwoLayer(rng)
+        model.scale.requires_grad = False
+        with frozen(model):
+            pass
+        assert not model.scale.requires_grad
+        assert model.first.weight.requires_grad
+
+
+class TestSequential:
+    def test_order_and_indexing(self, rng):
+        seq = Sequential(Linear(3, 5, rng), Linear(5, 2, rng))
+        assert len(seq) == 2
+        assert seq[0].out_features == 5
+        out = seq(Tensor(rng.normal(size=(4, 3))))
+        assert out.shape == (4, 2)
+
+    def test_repr_contains_children(self, rng):
+        seq = Sequential(Linear(3, 5, rng))
+        assert "Linear" in repr(seq)

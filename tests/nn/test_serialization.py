@@ -1,0 +1,35 @@
+"""Checkpoint save/load tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Linear, Module, Sequential, Tensor, load_model, save_model
+
+
+def _make_model(seed: int) -> Module:
+    rng = np.random.default_rng(seed)
+    return Sequential(Linear(3, 8, rng), Linear(8, 2, rng))
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_outputs(self, tmp_path, rng):
+        source = _make_model(0)
+        path = tmp_path / "model.npz"
+        save_model(source, path)
+
+        target = _make_model(123)
+        x = Tensor(rng.normal(size=(4, 3)))
+        assert not np.allclose(source(x).data, target(x).data)
+
+        load_model(target, path)
+        np.testing.assert_array_equal(source(x).data, target(x).data)
+
+    def test_load_appends_npz_suffix(self, tmp_path):
+        source = _make_model(0)
+        save_model(source, tmp_path / "ckpt")  # numpy appends .npz
+        target = _make_model(1)
+        load_model(target, tmp_path / "ckpt")
+        np.testing.assert_array_equal(
+            source.state_dict()["layer0.weight"], target.state_dict()["layer0.weight"]
+        )

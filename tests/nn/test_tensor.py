@@ -1,0 +1,306 @@
+"""Autograd engine tests: op semantics, gradients, graph mechanics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.nn import Tensor, no_grad, is_grad_enabled
+from tests.conftest import numerical_gradient
+
+
+def _check_grad(fn, x0, tol=1e-5):
+    """Compare autograd gradient against central differences."""
+    x = Tensor(x0.copy(), requires_grad=True)
+    fn(x).backward()
+    numeric = numerical_gradient(lambda arr: float(fn(Tensor(arr)).data.sum()), x0)
+    assert x.grad is not None
+    np.testing.assert_allclose(x.grad, numeric, atol=tol, rtol=tol)
+
+
+class TestBasicOps:
+    def test_add_values(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_array_equal(out.data, [4.0, 6.0])
+
+    def test_add_scalar_coercion(self):
+        out = 1.0 + Tensor([1.0]) + 2.0
+        np.testing.assert_array_equal(out.data, [4.0])
+
+    def test_sub_and_neg(self):
+        out = Tensor([3.0]) - 1.0
+        np.testing.assert_array_equal(out.data, [2.0])
+        np.testing.assert_array_equal((-Tensor([3.0])).data, [-3.0])
+
+    def test_rsub(self):
+        np.testing.assert_array_equal((1.0 - Tensor([3.0])).data, [-2.0])
+
+    def test_mul_div(self):
+        np.testing.assert_array_equal((Tensor([2.0]) * 3.0).data, [6.0])
+        np.testing.assert_array_equal((Tensor([6.0]) / 3.0).data, [2.0])
+        np.testing.assert_array_equal((6.0 / Tensor([3.0])).data, [2.0])
+
+    def test_pow(self):
+        np.testing.assert_array_equal((Tensor([3.0]) ** 2).data, [9.0])
+
+    def test_pow_tensor_exponent_rejected(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([2.0])
+
+    def test_matmul_2d(self):
+        a = Tensor(np.eye(2) * 2.0)
+        b = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        np.testing.assert_array_equal((a @ b).data, [[2.0, 4.0], [6.0, 8.0]])
+
+    def test_matmul_mixed_ndim_rejected(self):
+        with pytest.raises(NotImplementedError):
+            Tensor(np.ones((2, 2))) @ Tensor(np.ones(2))
+
+    def test_dot_product(self):
+        out = Tensor([1.0, 2.0]) @ Tensor([3.0, 4.0])
+        assert out.item() == 11.0
+
+
+class TestGradients:
+    def test_add_grad(self, rng):
+        _check_grad(lambda x: (x + x * 2.0).sum(), rng.normal(size=(3, 4)))
+
+    def test_mul_grad(self, rng):
+        other = Tensor(rng.normal(size=(3, 4)))
+        _check_grad(lambda x: (x * other).sum(), rng.normal(size=(3, 4)))
+
+    def test_div_grad(self, rng):
+        other = Tensor(rng.uniform(0.5, 2.0, size=(3, 4)))
+        _check_grad(lambda x: (x / other).sum(), rng.normal(size=(3, 4)))
+
+    def test_div_grad_wrt_denominator(self, rng):
+        numer = Tensor(rng.normal(size=(3,)))
+        _check_grad(lambda x: (numer / x).sum(), rng.uniform(1.0, 2.0, size=(3,)))
+
+    def test_matmul_grad(self, rng):
+        w = Tensor(rng.normal(size=(4, 5)))
+        _check_grad(lambda x: (x @ w).sum(), rng.normal(size=(3, 4)))
+
+    def test_batched_matmul_grad(self, rng):
+        w = Tensor(rng.normal(size=(2, 4, 5)))
+        _check_grad(lambda x: (x @ w).sum(), rng.normal(size=(2, 3, 4)))
+
+    def test_matmul_broadcast_grad(self, rng):
+        # (B, T, D) @ (D, E): gradient to the 2-D weight must sum batches.
+        x = Tensor(rng.normal(size=(2, 3, 4)))
+        _check_grad(lambda w: (x @ w).sum(), rng.normal(size=(4, 5)))
+
+    def test_exp_log_sqrt_grads(self, rng):
+        x0 = rng.uniform(0.5, 2.0, size=(4,))
+        _check_grad(lambda x: x.exp().sum(), x0)
+        _check_grad(lambda x: x.log().sum(), x0)
+        _check_grad(lambda x: x.sqrt().sum(), x0)
+
+    def test_tanh_sigmoid_relu_grads(self, rng):
+        x0 = rng.normal(size=(6,))
+        _check_grad(lambda x: x.tanh().sum(), x0)
+        _check_grad(lambda x: x.sigmoid().sum(), x0)
+        # keep points away from the ReLU kink
+        x0_safe = x0 + np.sign(x0) * 0.1
+        _check_grad(lambda x: x.relu().sum(), x0_safe)
+
+    def test_abs_clip_grads(self, rng):
+        x0 = rng.normal(size=(6,)) + np.sign(rng.normal(size=(6,))) * 0.5
+        _check_grad(lambda x: x.abs().sum(), x0)
+        _check_grad(lambda x: x.clip(-0.4, 0.4).sum(), x0)
+
+    def test_sum_axis_grad(self, rng):
+        _check_grad(lambda x: (x.sum(axis=1) ** 2).sum(), rng.normal(size=(3, 4)))
+
+    def test_sum_keepdims_grad(self, rng):
+        _check_grad(lambda x: (x.sum(axis=0, keepdims=True) * x).sum(), rng.normal(size=(3, 4)))
+
+    def test_mean_var_grads(self, rng):
+        x0 = rng.normal(size=(3, 4))
+        _check_grad(lambda x: x.mean(axis=1).sum(), x0)
+        _check_grad(lambda x: x.var(axis=1).sum(), x0)
+
+    def test_max_grad(self, rng):
+        x0 = rng.normal(size=(3, 4))
+        _check_grad(lambda x: x.max(axis=1).sum(), x0)
+
+    def test_softmax_grad(self, rng):
+        weights = Tensor(rng.normal(size=(3, 4)))
+        _check_grad(lambda x: (x.softmax(axis=-1) * weights).sum(), rng.normal(size=(3, 4)))
+
+    def test_log_softmax_grad(self, rng):
+        weights = Tensor(rng.normal(size=(3, 4)))
+        _check_grad(lambda x: (x.log_softmax(axis=-1) * weights).sum(), rng.normal(size=(3, 4)))
+
+    def test_getitem_grad(self, rng):
+        _check_grad(lambda x: (x[1:, ::2] ** 2).sum(), rng.normal(size=(3, 4)))
+
+    def test_fancy_index_grad(self, rng):
+        rows = np.array([[0], [1]])
+        cols = np.array([[0, 2], [1, 3]])
+        _check_grad(lambda x: (x[rows, cols] ** 2).sum(), rng.normal(size=(2, 4)))
+
+    def test_transpose_reshape_grads(self, rng):
+        x0 = rng.normal(size=(2, 3, 4))
+        w = Tensor(rng.normal(size=(4, 3)))
+        _check_grad(lambda x: (x.transpose(0, 2, 1).reshape(2, 12)).sum(), x0)
+        _check_grad(lambda x: (x.swapaxes(1, 2) * 2.0).sum(), x0)
+
+    def test_concat_grad(self, rng):
+        a0 = rng.normal(size=(2, 3))
+        b = Tensor(rng.normal(size=(2, 2)))
+        _check_grad(lambda x: (Tensor.concat([x, b], axis=1) ** 2).sum(), a0)
+
+    def test_stack_grad(self, rng):
+        a0 = rng.normal(size=(2, 3))
+        b = Tensor(rng.normal(size=(2, 3)))
+        _check_grad(lambda x: (Tensor.stack([x, b], axis=0) ** 2).sum(), a0)
+
+    def test_where_grad(self, rng):
+        cond = rng.random((3, 4)) > 0.5
+        b = Tensor(rng.normal(size=(3, 4)))
+        _check_grad(lambda x: (Tensor.where(cond, x, b) ** 2).sum(), rng.normal(size=(3, 4)))
+
+    def test_scatter_grad(self, rng):
+        rows = np.arange(2)[:, None]
+        idx = np.array([[0, 3], [1, 2]])
+        _check_grad(
+            lambda x: (Tensor.scatter(x, (rows, idx), (2, 5, 3)) ** 2).sum(),
+            rng.normal(size=(2, 2, 3)),
+        )
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_on_reuse(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * x  # dy/dx = 2x via two paths
+        y.backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_backward_requires_scalar_without_grad(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2.0).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_explicit_gradient_seed(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        (x * 3.0).backward(np.full((2, 2), 2.0))
+        np.testing.assert_allclose(x.grad, np.full((2, 2), 6.0))
+
+    def test_detach_blocks_gradient(self):
+        x = Tensor([2.0], requires_grad=True)
+        (x.detach() * x).backward()
+        np.testing.assert_allclose(x.grad, [2.0])  # only the non-detached path
+
+    def test_requires_grad_pinned_at_record_time(self):
+        """An edge recorded while a tensor was frozen must not deliver
+        gradient even if the tensor is unfrozen before backward — and
+        vice versa (the GAN baselines' phase mechanics rely on this)."""
+        w = Tensor([2.0], requires_grad=True)
+        x = Tensor([3.0], requires_grad=True)
+
+        w.requires_grad = False
+        frozen_product = w * x      # edge recorded with w frozen
+        w.requires_grad = True
+        live_product = w * x        # edge recorded with w live
+        w.requires_grad = False     # freeze again before backward
+        (frozen_product + live_product).backward()
+
+        # Only the live edge contributes: dw = x = 3 (once, not twice).
+        np.testing.assert_allclose(w.grad, [3.0])
+        np.testing.assert_allclose(x.grad, [4.0])  # both edges reach x
+        assert w.requires_grad is False  # flags restored after backward
+
+    def test_no_grad_context(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            x = Tensor([1.0], requires_grad=True)
+            y = x * 2.0
+            assert not y.requires_grad
+        assert is_grad_enabled()
+
+    def test_deep_graph_no_recursion_error(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(5000):
+            y = y + 1e-4
+        y.backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2.0).backward()
+        assert x.grad is not None
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_properties(self):
+        x = Tensor(np.zeros((2, 3)))
+        assert x.shape == (2, 3)
+        assert x.ndim == 2
+        assert x.size == 6
+        assert len(x) == 2
+        assert "Tensor" in repr(x)
+
+
+class TestBroadcasting:
+    @given(
+        arrays(np.float64, array_shapes(min_dims=1, max_dims=3, max_side=4),
+               elements=st.floats(-10, 10)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_scalar_broadcast_add_grad_shape(self, data):
+        x = Tensor(data, requires_grad=True)
+        bias = Tensor(np.array(1.5), requires_grad=True)
+        (x + bias).sum().backward()
+        assert x.grad.shape == x.shape
+        assert bias.grad.shape == bias.shape
+        np.testing.assert_allclose(bias.grad, data.size)
+
+    def test_row_broadcast(self, rng):
+        x = Tensor(rng.normal(size=(4, 3)), requires_grad=True)
+        row = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        ((x * row).sum()).backward()
+        np.testing.assert_allclose(row.grad, x.data.sum(axis=0))
+
+    def test_middle_axis_broadcast(self, rng):
+        x = Tensor(rng.normal(size=(2, 1, 3)), requires_grad=True)
+        y = Tensor(rng.normal(size=(2, 4, 3)))
+        (x * y).sum().backward()
+        assert x.grad.shape == (2, 1, 3)
+        np.testing.assert_allclose(x.grad, y.data.sum(axis=1, keepdims=True))
+
+
+class TestHypothesisGradients:
+    """Property-based gradient checks on random shapes/values."""
+
+    @given(
+        arrays(np.float64, array_shapes(min_dims=1, max_dims=2, max_side=5),
+               elements=st.floats(-3, 3)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_tanh_chain_gradient(self, data):
+        def fn(x):
+            return (x.tanh() * 2.0 + 1.0).sum()
+
+        x = Tensor(data.copy(), requires_grad=True)
+        fn(x).backward()
+        numeric = numerical_gradient(lambda a: float(fn(Tensor(a)).data), data)
+        np.testing.assert_allclose(x.grad, numeric, atol=1e-5)
+
+    @given(
+        arrays(np.float64, st.tuples(st.integers(1, 4), st.integers(2, 5)),
+               elements=st.floats(-3, 3)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_softmax_rows_sum_to_one(self, data):
+        out = Tensor(data).softmax(axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), 1.0, atol=1e-12)

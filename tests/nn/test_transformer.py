@@ -1,0 +1,79 @@
+"""Transformer block and positional-encoding tests (paper Eq. 11-13)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Tensor, TransformerLayer, TransformerStack
+from repro.nn.transformer import sinusoidal_positional_encoding
+
+
+class TestPositionalEncoding:
+    def test_shape(self):
+        assert sinusoidal_positional_encoding(10, 16).shape == (10, 16)
+
+    def test_eq11_even_odd_structure(self):
+        pe = sinusoidal_positional_encoding(50, 8)
+        t = np.arange(50)
+        np.testing.assert_allclose(pe[:, 0], np.sin(t / 10000 ** (0 / 8)))
+        np.testing.assert_allclose(pe[:, 1], np.cos(t / 10000 ** (0 / 8)))
+        np.testing.assert_allclose(pe[:, 2], np.sin(t / 10000 ** (2 / 8)))
+        np.testing.assert_allclose(pe[:, 3], np.cos(t / 10000 ** (2 / 8)))
+
+    def test_explicit_positions(self):
+        full = sinusoidal_positional_encoding(100, 8)
+        positions = np.array([3, 17, 42])
+        subset = sinusoidal_positional_encoding(0, 8, positions=positions)
+        np.testing.assert_allclose(subset, full[positions])
+
+    def test_bounded(self):
+        pe = sinusoidal_positional_encoding(200, 32)
+        assert np.all(np.abs(pe) <= 1.0)
+
+    def test_distinct_positions_distinct_codes(self):
+        pe = sinusoidal_positional_encoding(64, 16)
+        distances = np.linalg.norm(pe[:, None] - pe[None, :], axis=-1)
+        off_diagonal = distances + np.eye(64) * 1e9
+        assert off_diagonal.min() > 1e-3
+
+
+class TestTransformerLayer:
+    def test_shape_preserved(self, rng):
+        layer = TransformerLayer(16, 4, rng)
+        assert layer(Tensor(rng.normal(size=(2, 7, 16)))).shape == (2, 7, 16)
+
+    def test_custom_ffn_dim(self, rng):
+        layer = TransformerLayer(16, 4, rng, ffn_dim=8)
+        assert layer.ffn[0].out_features == 8
+
+    def test_not_identity(self, rng):
+        layer = TransformerLayer(16, 4, rng)
+        x = rng.normal(size=(1, 5, 16))
+        assert not np.allclose(layer(Tensor(x)).data, x)
+
+    def test_gradients_reach_every_parameter(self, rng):
+        layer = TransformerLayer(8, 2, rng)
+        (layer(Tensor(rng.normal(size=(2, 4, 8)))) ** 2).mean().backward()
+        for name, param in layer.named_parameters():
+            assert param.grad is not None, f"no grad for {name}"
+
+
+class TestTransformerStack:
+    def test_depth_and_indexing(self, rng):
+        stack = TransformerStack(8, 3, 2, rng)
+        assert len(stack) == 3
+        assert isinstance(stack[1], TransformerLayer)
+
+    def test_forward_shape(self, rng):
+        stack = TransformerStack(8, 3, 2, rng)
+        assert stack(Tensor(rng.normal(size=(2, 5, 8)))).shape == (2, 5, 8)
+
+    def test_zero_layers_is_identity(self, rng):
+        stack = TransformerStack(8, 0, 2, rng)
+        x = Tensor(rng.normal(size=(1, 4, 8)))
+        assert stack(x) is x
+
+    def test_parameter_count_scales_with_depth(self, rng):
+        shallow = TransformerStack(8, 1, 2, rng)
+        deep = TransformerStack(8, 4, 2, np.random.default_rng(0))
+        assert deep.num_parameters() == 4 * shallow.num_parameters()

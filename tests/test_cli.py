@@ -1,0 +1,60 @@
+"""CLI tests (``python -m repro``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.method == "TFMAE"
+        assert args.dataset == "NIPS-TS-Global"
+        assert args.scale == 0.01
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--method", "Nope"])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--dataset", "Nope"])
+
+
+class TestCommands:
+    def test_list_datasets(self, capsys):
+        assert main(["list-datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "NIPS-TS-Global" in out
+        assert "SWaT" in out
+
+    def test_list_methods(self, capsys):
+        assert main(["list-methods"]) == 0
+        out = capsys.readouterr().out
+        assert "TFMAE" in out
+        assert "contrastive" in out
+
+    def test_run_classical_method(self, capsys):
+        code = main(["run", "--method", "IForest", "--dataset", "NIPS-TS-Global",
+                     "--scale", "0.02", "--anomaly-ratio", "5.0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IForest" in out
+        assert "NIPS-TS-Global" in out
+
+    def test_run_tfmae_small(self, capsys):
+        code = main(["run", "--method", "TFMAE", "--dataset", "NIPS-TS-Global",
+                     "--scale", "0.02", "--epochs", "1", "--anomaly-ratio", "5.0"])
+        assert code == 0
+        assert "TFMAE" in capsys.readouterr().out
+
+    def test_run_no_adjust(self, capsys):
+        code = main(["run", "--method", "LOF", "--dataset", "NIPS-TS-Global",
+                     "--scale", "0.02", "--anomaly-ratio", "5.0", "--no-adjust"])
+        assert code == 0

@@ -1,0 +1,76 @@
+"""Contract tests for the shared :class:`repro.detector.BaseDetector` API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detector import BaseDetector
+
+
+class _MeanDistanceDetector(BaseDetector):
+    """Minimal detector: score = distance from the training mean."""
+
+    name = "toy"
+
+    def _fit(self, train: np.ndarray) -> None:
+        self.mean_ = train.mean(axis=0)
+
+    def score(self, series: np.ndarray) -> np.ndarray:
+        return np.linalg.norm(series - self.mean_, axis=1)
+
+
+class TestBaseDetectorContract:
+    def test_fit_returns_self(self, rng):
+        detector = _MeanDistanceDetector()
+        assert detector.fit(rng.normal(size=(50, 2))) is detector
+
+    def test_invalid_anomaly_ratio(self):
+        with pytest.raises(ValueError):
+            _MeanDistanceDetector(anomaly_ratio=0.0)
+        with pytest.raises(ValueError):
+            _MeanDistanceDetector(anomaly_ratio=100.0)
+
+    def test_fit_requires_2d(self, rng):
+        with pytest.raises(ValueError):
+            _MeanDistanceDetector().fit(rng.normal(size=50))
+
+    def test_fit_rejects_non_finite(self, rng):
+        train = rng.normal(size=(50, 2))
+        train[10, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            _MeanDistanceDetector().fit(train)
+        train[10, 0] = np.inf
+        with pytest.raises(ValueError):
+            _MeanDistanceDetector().fit(train)
+
+    def test_score_before_fit_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            _MeanDistanceDetector().calibrate_threshold(rng.normal(size=(10, 2)))
+
+    def test_predict_without_threshold_raises(self, rng):
+        detector = _MeanDistanceDetector()
+        detector.fit(rng.normal(size=(50, 2)))
+        with pytest.raises(RuntimeError):
+            detector.predict(rng.normal(size=(10, 2)))
+
+    def test_threshold_flags_expected_validation_fraction(self, rng):
+        detector = _MeanDistanceDetector(anomaly_ratio=10.0)
+        validation = rng.normal(size=(1000, 2))
+        detector.fit(rng.normal(size=(100, 2)), validation)
+        flagged = detector.predict(validation).mean()
+        assert flagged == pytest.approx(0.10, abs=0.02)
+
+    def test_calibrate_returns_threshold(self, rng):
+        detector = _MeanDistanceDetector()
+        detector.fit(rng.normal(size=(50, 2)))
+        value = detector.calibrate_threshold(rng.normal(size=(100, 2)))
+        assert value == detector.threshold_
+
+    def test_obvious_outliers_flagged(self, rng):
+        detector = _MeanDistanceDetector(anomaly_ratio=5.0)
+        detector.fit(rng.normal(size=(200, 2)), rng.normal(size=(200, 2)))
+        test = rng.normal(size=(100, 2))
+        test[[7, 42]] = 50.0
+        labels = detector.predict(test)
+        assert labels[7] == 1 and labels[42] == 1

@@ -1,0 +1,123 @@
+"""Ensemble-detector tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import LOF, IsolationForest
+from repro.detector import BaseDetector
+from repro.ensemble import EnsembleDetector
+
+
+class _ConstantDetector(BaseDetector):
+    """Scores are a fixed linear function of channel 0 — for exact checks."""
+
+    name = "const"
+
+    def __init__(self, scale: float, **kwargs):
+        super().__init__(**kwargs)
+        self.scale = scale
+
+    def _fit(self, train: np.ndarray) -> None:
+        pass
+
+    def score(self, series: np.ndarray) -> np.ndarray:
+        return self.scale * np.abs(series[:, 0])
+
+
+class TestConstruction:
+    def test_needs_members(self):
+        with pytest.raises(ValueError):
+            EnsembleDetector([])
+
+    def test_unknown_normaliser(self):
+        with pytest.raises(ValueError):
+            EnsembleDetector([_ConstantDetector(1.0)], normaliser="minmax")
+
+    def test_unknown_aggregator(self):
+        with pytest.raises(ValueError):
+            EnsembleDetector([_ConstantDetector(1.0)], aggregate="median")
+
+    def test_weights_validation(self):
+        with pytest.raises(ValueError):
+            EnsembleDetector([_ConstantDetector(1.0)], weights=[0.5, 0.5])
+        with pytest.raises(ValueError):
+            EnsembleDetector([_ConstantDetector(1.0)], weights=[1.0], aggregate="max")
+
+    def test_name_composition(self):
+        ensemble = EnsembleDetector([_ConstantDetector(1.0), _ConstantDetector(2.0)])
+        assert ensemble.name == "Ensemble(const+const)"
+
+
+class TestScoreCombination:
+    def test_rank_normalisation_erases_scale(self, rng):
+        """Members whose scores differ only by scale contribute equally."""
+        train = rng.normal(size=(200, 2))
+        val = rng.normal(size=(300, 2))
+        test = rng.normal(size=(100, 2))
+        single = EnsembleDetector([_ConstantDetector(1.0)], anomaly_ratio=5.0)
+        scaled = EnsembleDetector([_ConstantDetector(1.0), _ConstantDetector(1000.0)],
+                                  anomaly_ratio=5.0)
+        single.fit(train, val)
+        scaled.fit(train, val)
+        np.testing.assert_allclose(single.score(test), scaled.score(test))
+
+    def test_max_aggregation(self, rng):
+        train = rng.normal(size=(200, 2))
+        val = rng.normal(size=(300, 2))
+        ensemble = EnsembleDetector(
+            [_ConstantDetector(1.0), _ConstantDetector(2.0)],
+            aggregate="max", anomaly_ratio=5.0,
+        )
+        ensemble.fit(train, val)
+        test = rng.normal(size=(50, 2))
+        scores = ensemble.score(test)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_weighted_mean(self, rng):
+        train = rng.normal(size=(200, 1))
+        val = rng.normal(size=(200, 1))
+        heavy = EnsembleDetector(
+            [_ConstantDetector(1.0), _ConstantDetector(-1.0)],
+            weights=[1.0, 0.0], anomaly_ratio=5.0,
+        )
+        heavy.fit(train, val)
+        solo = EnsembleDetector([_ConstantDetector(1.0)], anomaly_ratio=5.0)
+        solo.fit(train, val)
+        test = rng.normal(size=(40, 1))
+        np.testing.assert_allclose(heavy.score(test), solo.score(test))
+
+    def test_zscore_normaliser(self, rng):
+        ensemble = EnsembleDetector([_ConstantDetector(5.0)], normaliser="zscore",
+                                    anomaly_ratio=5.0)
+        ensemble.fit(rng.normal(size=(100, 1)), rng.normal(size=(500, 1)))
+        scores = ensemble.score(rng.normal(size=(500, 1)))
+        assert abs(scores.mean()) < 0.3
+
+
+class TestEndToEnd:
+    def test_real_members_detect_outliers(self, rng):
+        train = rng.normal(size=(800, 3))
+        val = rng.normal(size=(400, 3))
+        test = rng.normal(size=(300, 3))
+        outliers = [20, 150, 280]
+        test[outliers] = 10.0
+        ensemble = EnsembleDetector(
+            [LOF(n_neighbors=10, seed=0), IsolationForest(n_trees=30, seed=0)],
+            anomaly_ratio=3.0,
+        )
+        ensemble.fit(train, val)
+        labels = ensemble.predict(test)
+        assert labels[outliers].all()
+        assert labels.mean() < 0.2
+
+    def test_fit_without_validation_uses_train(self, rng):
+        ensemble = EnsembleDetector([_ConstantDetector(1.0)])
+        ensemble.fit(rng.normal(size=(100, 1)))
+        assert ensemble.threshold_ is None  # not calibrated, but scoreable
+        assert ensemble.score(rng.normal(size=(20, 1))).shape == (20,)
+
+    def test_train_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            EnsembleDetector([_ConstantDetector(1.0)]).fit(rng.normal(size=100))

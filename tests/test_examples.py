@@ -1,0 +1,37 @@
+"""Smoke tests: the example scripts must run end to end.
+
+Only the fastest example runs in the default suite; the rest are checked
+for importability/compilability so a syntax or API drift fails fast.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamples:
+    def test_examples_directory_populated(self):
+        names = {path.name for path in ALL_EXAMPLES}
+        assert "quickstart.py" in names
+        assert len(names) >= 5
+
+    @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+    def test_example_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    def test_quickstart_runs(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "detection:" in result.stdout
+        assert "top-5 alarms" in result.stdout

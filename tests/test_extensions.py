@@ -1,0 +1,177 @@
+"""Tests for the future-work extensions: forecasting and classification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.extensions import (
+    ForecastConfig,
+    SoftmaxProbe,
+    TFMAEClassifier,
+    TFMAEForecaster,
+    persistence_forecast,
+    seasonal_naive_forecast,
+)
+
+
+def _sine_series(rng, length=1200, period=24, features=1):
+    t = np.arange(length)
+    columns = [
+        np.sin(2 * np.pi * t / period + phase)
+        for phase in np.linspace(0, np.pi, features)
+    ]
+    return np.stack(columns, axis=1) + rng.normal(0, 0.05, (length, features))
+
+
+class TestNaiveForecasts:
+    def test_persistence_shape_and_value(self, rng):
+        context = rng.normal(size=(50, 3))
+        forecast = persistence_forecast(context, horizon=7)
+        assert forecast.shape == (7, 3)
+        np.testing.assert_array_equal(forecast, np.tile(context[-1], (7, 1)))
+
+    def test_seasonal_naive_repeats_season(self, rng):
+        context = rng.normal(size=(48, 2))
+        forecast = seasonal_naive_forecast(context, horizon=30, period=24)
+        np.testing.assert_array_equal(forecast[:24], context[-24:])
+        np.testing.assert_array_equal(forecast[24:], context[-24:-18])
+
+    def test_seasonal_naive_validation(self, rng):
+        with pytest.raises(ValueError):
+            seasonal_naive_forecast(rng.normal(size=(10, 1)), 5, period=20)
+
+
+class TestForecastConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ForecastConfig(context_length=0)
+        with pytest.raises(ValueError):
+            ForecastConfig(d_model=30, num_heads=4)
+
+    def test_window_size(self):
+        assert ForecastConfig(context_length=48, horizon=12).window_size == 60
+
+
+class TestTFMAEForecaster:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        rng = np.random.default_rng(0)
+        series = _sine_series(rng)
+        config = ForecastConfig(context_length=48, horizon=12, d_model=16,
+                                num_layers=1, num_heads=2, epochs=4, stride=4)
+        return TFMAEForecaster(config).fit(series[:1000]), series
+
+    def test_predict_shape(self, fitted):
+        forecaster, series = fitted
+        forecast = forecaster.predict(series[1000:1048])
+        assert forecast.shape == (12, 1)
+
+    def test_batched_predict(self, fitted):
+        forecaster, series = fitted
+        batch = np.stack([series[1000:1048], series[1010:1058]])
+        assert forecaster.predict(batch).shape == (2, 12, 1)
+
+    def test_beats_persistence_on_periodic_data(self, fitted):
+        """Learned forecasts must beat the persistence floor on a sine."""
+        forecaster, series = fitted
+        errors_model, errors_persistence = [], []
+        for start in range(1000, 1120, 12):
+            context = series[start : start + 48]
+            target = series[start + 48 : start + 60]
+            errors_model.append(np.mean((forecaster.predict(context) - target) ** 2))
+            errors_persistence.append(
+                np.mean((persistence_forecast(context, 12) - target) ** 2)
+            )
+        assert np.mean(errors_model) < np.mean(errors_persistence)
+
+    def test_loss_decreases(self, fitted):
+        forecaster, _ = fitted
+        history = forecaster.loss_history
+        assert np.mean(history[-5:]) < np.mean(history[:5])
+
+    def test_wrong_context_length_rejected(self, fitted):
+        forecaster, series = fitted
+        with pytest.raises(ValueError):
+            forecaster.predict(series[:30])
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            TFMAEForecaster().predict(np.zeros((96, 1)))
+
+    def test_short_series_rejected(self, rng):
+        with pytest.raises(ValueError):
+            TFMAEForecaster(ForecastConfig(context_length=48, horizon=12,
+                                           d_model=16, num_heads=2)).fit(
+                rng.normal(size=(20, 1))
+            )
+
+
+class TestSoftmaxProbe:
+    def test_separable_classes(self, rng):
+        features = np.concatenate([
+            rng.normal(-2, 0.3, size=(100, 4)),
+            rng.normal(2, 0.3, size=(100, 4)),
+        ])
+        labels = np.array([0] * 100 + [1] * 100)
+        probe = SoftmaxProbe(n_classes=2).fit(features, labels)
+        assert (probe.predict(features) == labels).mean() > 0.98
+
+    def test_three_classes(self, rng):
+        centers = np.array([[-3, 0], [3, 0], [0, 3]])
+        features = np.concatenate([rng.normal(c, 0.3, size=(60, 2)) for c in centers])
+        labels = np.repeat([0, 1, 2], 60)
+        probe = SoftmaxProbe(n_classes=3).fit(features, labels)
+        assert (probe.predict(features) == labels).mean() > 0.95
+
+    def test_proba_rows_sum_to_one(self, rng):
+        probe = SoftmaxProbe(n_classes=2).fit(rng.normal(size=(50, 3)),
+                                              rng.integers(0, 2, 50))
+        proba = probe.predict_proba(rng.normal(size=(10, 3)))
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            SoftmaxProbe(n_classes=1)
+        with pytest.raises(ValueError):
+            SoftmaxProbe(n_classes=2).fit(rng.normal(size=(10, 2)),
+                                          np.array([0, 2] * 5))
+        with pytest.raises(RuntimeError):
+            SoftmaxProbe(n_classes=2).predict(rng.normal(size=(5, 2)))
+
+
+class TestTFMAEClassifier:
+    def test_linear_probe_separates_waveforms(self, rng):
+        """Frozen TFMAE features must linearly separate sine vs square
+        windows — the representation-quality claim behind the extension."""
+        from repro.core import TFMAEConfig, TFMAEModel
+
+        t = np.arange(40)
+        def make_windows(kind, count):
+            out = []
+            for _ in range(count):
+                period = rng.uniform(8, 16)
+                phase = rng.uniform(0, 2 * np.pi)
+                wave = np.sin(2 * np.pi * t / period + phase)
+                if kind == "square":
+                    wave = np.sign(wave)
+                out.append(wave + rng.normal(0, 0.05, t.size))
+            return np.stack(out)[:, :, None]
+
+        windows = np.concatenate([make_windows("sine", 60), make_windows("square", 60)])
+        labels = np.array([0] * 60 + [1] * 60)
+
+        config = TFMAEConfig(window_size=40, d_model=16, num_layers=1, num_heads=2,
+                             temporal_mask_ratio=20.0, frequency_mask_ratio=20.0)
+        model = TFMAEModel(1, config)  # untrained features already separate these
+        classifier = TFMAEClassifier(model, n_classes=2)
+        classifier.fit(windows, labels)
+        assert classifier.accuracy(windows, labels) > 0.9
+
+    def test_requires_batched_windows(self, rng):
+        from repro.core import TFMAEConfig, TFMAEModel
+
+        config = TFMAEConfig(window_size=20, d_model=16, num_layers=1, num_heads=2)
+        classifier = TFMAEClassifier(TFMAEModel(1, config), n_classes=2)
+        with pytest.raises(ValueError):
+            classifier.representations(rng.normal(size=(20, 1)))

@@ -1,0 +1,82 @@
+"""ASCII visualisation tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.viz import render_detection, render_series, sparkline
+
+
+class TestSparkline:
+    def test_width(self, rng):
+        assert len(sparkline(rng.normal(size=200), width=40)) == 40
+
+    def test_constant_series(self):
+        line = sparkline(np.ones(50), width=20)
+        assert line == " " * 20
+
+    def test_extremes_use_extreme_glyphs(self):
+        values = np.zeros(80)
+        values[40] = 10.0
+        line = sparkline(values, width=80)
+        assert line[40] == "@"
+        assert line[0] == " "
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline(np.array([]))
+
+    def test_width_property(self, rng):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @given(length=st.integers(1, 500), width=st.integers(1, 120))
+        @settings(max_examples=40, deadline=None)
+        def check(length, width):
+            values = np.random.default_rng(length).normal(size=length)
+            assert len(sparkline(values, width=width)) == width
+
+        check()
+
+
+class TestRenderSeries:
+    def test_dimensions(self, rng):
+        text = render_series(rng.normal(size=300), height=6, width=50)
+        lines = text.split("\n")
+        assert len(lines) == 6
+        assert all(len(line) >= 50 for line in lines)
+
+    def test_annotates_min_max(self):
+        text = render_series(np.linspace(0.0, 5.0, 100))
+        assert "5" in text.split("\n")[0]
+        assert "0" in text.split("\n")[-1]
+
+    def test_one_mark_per_column(self, rng):
+        text = render_series(rng.normal(size=100), height=5, width=30)
+        grid = [line[:30] for line in text.split("\n")]
+        for column in range(30):
+            marks = sum(1 for row in grid if row[column] == "*")
+            assert marks == 1
+
+
+class TestRenderDetection:
+    def test_rows_and_markers(self, rng):
+        channel = rng.normal(size=100)
+        scores = np.zeros(100)
+        scores[50] = 5.0
+        labels = np.zeros(100, dtype=int)
+        labels[50] = 1
+        text = render_detection(channel, scores, threshold=1.0, labels=labels, width=100)
+        lines = text.split("\n")
+        assert len(lines) == 4
+        assert "!" in lines[2]
+        assert "#" in lines[3]
+
+    def test_no_labels_row(self, rng):
+        text = render_detection(rng.normal(size=50), np.zeros(50), threshold=1.0)
+        assert len(text.split("\n")) == 3
+
+    def test_alignment_required(self, rng):
+        with pytest.raises(ValueError):
+            render_detection(rng.normal(size=50), np.zeros(40), threshold=1.0)
