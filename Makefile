@@ -1,6 +1,6 @@
 # Convenience targets for the TFMAE reproduction.
 
-.PHONY: install test bench bench-tables bench-figures examples clean
+.PHONY: install test bench bench-tables bench-figures robustness examples clean
 
 install:
 	python setup.py develop
@@ -24,6 +24,12 @@ bench-figures:
 	       benchmarks/bench_fig7_hyperparams.py benchmarks/bench_fig8_case_study.py \
 	       benchmarks/bench_fig9_distribution_shift.py benchmarks/bench_fig10_efficiency.py \
 	       --benchmark-only -s
+
+robustness:
+	PYTHONPATH=src pytest tests/core/test_fault_tolerance.py \
+	       tests/test_robustness_stream.py tests/test_property_nonfinite.py -q
+	PYTHONPATH=src REPRO_BENCH_STREAM=300 REPRO_BENCH_EPOCHS=4 \
+	       pytest benchmarks/bench_robustness_faults.py --benchmark-only -s
 
 examples:
 	for f in examples/*.py; do echo "=== $$f ==="; python $$f; done

@@ -1,0 +1,112 @@
+"""Streaming robustness under corrupted telemetry.
+
+Not a paper table: this bench measures the fault-tolerance subsystem
+(``repro.robustness``).  Each detector is trained and calibrated on clean
+SMD-profile data, then scores the test split as a live stream corrupted
+with each fault of the stream-fault taxonomy (NaN burst, stuck-at sensor,
+dropout gap, spike corruption, scale drift).  Every (fault, method) cell
+is run twice:
+
+* ``off`` — no :class:`~repro.robustness.FaultPolicy`: the stream fails
+  loudly on malformed input (recorded as ``FAIL(...)``) or scores the
+  corruption as-is;
+* ``on``  — impute + clamp + IsolationForest fallback: the stream must
+  finish with a measurable point-adjusted F1 for every fault type.
+
+Expected shape: the ``on`` rows degrade gracefully from the clean
+reference (no failures, F1 within a handful of points for most faults),
+while the ``off`` rows record the baseline failure modes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro import TFMAE, FaultPolicy, StreamingDetector, evaluate_detection
+from repro.baselines import LOF, IsolationForest
+from repro.datasets import get_dataset, inject_stream_fault
+from repro.datasets.injection import STREAM_FAULTS
+
+from _common import BENCH_ANOMALY_RATIO, bench_scale, bench_tfmae_config, save_result
+
+DATASET = "SMD"
+CONTEXT = 100
+#: Streamed observations per (method, fault, policy) cell; streaming costs
+#: one window score per observation, so this bounds bench wall-clock.
+STREAM_LEN = int(os.environ.get("REPRO_BENCH_STREAM", "600"))
+#: Offset into the test split: the SMD-profile realisation has no labelled
+#: anomalies before ~1000, so stream a region whose scored part (past the
+#: CONTEXT-length warmup) contains anomaly segments even at short lengths.
+STREAM_START = int(os.environ.get("REPRO_BENCH_STREAM_START", "2700"))
+FAULTS = list(STREAM_FAULTS)
+SEED = 0
+
+
+def _detectors() -> dict:
+    ratio = BENCH_ANOMALY_RATIO[DATASET]
+    return {
+        "TFMAE": TFMAE(bench_tfmae_config(DATASET)),
+        "LOF": LOF(anomaly_ratio=ratio, seed=SEED),
+        "IForest": IsolationForest(anomaly_ratio=ratio, seed=SEED),
+    }
+
+
+def _stream_f1(detector, series: np.ndarray, labels: np.ndarray,
+               policy: FaultPolicy | None) -> str:
+    stream = StreamingDetector(detector, context=CONTEXT, warmup=CONTEXT, policy=policy)
+    try:
+        events = stream.update_many(series)
+    except ValueError as error:
+        return f"FAIL({type(error).__name__})"
+    predictions = np.array([event.is_anomaly for event in events], dtype=np.int64)
+    scored = slice(CONTEXT, None)
+    metrics = evaluate_detection(predictions[scored], labels[scored], adjust=True)
+    return f"{metrics.f1 * 100:5.1f}"
+
+
+def run_fault_bench() -> str:
+    dataset = get_dataset(DATASET, seed=SEED, scale=bench_scale(DATASET)).normalised()
+    test = dataset.test[STREAM_START:STREAM_START + STREAM_LEN]
+    test_labels = dataset.test_labels[STREAM_START:STREAM_START + STREAM_LEN]
+
+    detectors = _detectors()
+    for detector in detectors.values():
+        detector.fit(dataset.train, dataset.validation)
+
+    fallback = IsolationForest(anomaly_ratio=BENCH_ANOMALY_RATIO[DATASET], seed=SEED)
+    fallback.fit(dataset.train, dataset.validation)
+    policy = FaultPolicy(impute_nonfinite=True, clamp_sigma=20.0, fallback=fallback)
+
+    rng = np.random.default_rng(SEED)
+    corrupted = {
+        fault: inject_stream_fault(test, fault, rng, fault_fraction=0.05)[0]
+        for fault in FAULTS
+    }
+
+    header = f"{'fault':<18} {'policy':<7}" + "".join(f" {name:>9}" for name in detectors)
+    lines = [
+        "Stream-fault robustness (point-adjusted F1% on the streamed test "
+        f"split, {DATASET} profile, {STREAM_LEN} observations)",
+        header,
+        "-" * len(header),
+    ]
+    clean_row = [f"{'clean':<18} {'-':<7}"]
+    for name, detector in detectors.items():
+        clean_row.append(f" {_stream_f1(detector, test, test_labels, None):>9}")
+    lines.append("".join(clean_row))
+    for fault in FAULTS:
+        for label, active_policy in (("off", None), ("on", policy)):
+            row = [f"{fault:<18} {label:<7}"]
+            for name, detector in detectors.items():
+                row.append(
+                    f" {_stream_f1(detector, corrupted[fault], test_labels, active_policy):>9}"
+                )
+            lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def test_robustness_faults(benchmark):
+    table = benchmark.pedantic(run_fault_bench, rounds=1, iterations=1)
+    save_result("robustness_faults", table)

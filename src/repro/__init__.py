@@ -22,6 +22,9 @@ Subpackages
     The 14 comparison methods of Table III.
 ``repro.metrics`` / ``repro.eval``
     Detection metrics, thresholds and the shared evaluation protocol.
+``repro.robustness``
+    Fault tolerance: checkpoint/resume, divergence guards, and graceful
+    streaming degradation under corrupted telemetry.
 """
 
 from .core import TFMAE, TFMAEConfig, preset_for
@@ -30,6 +33,7 @@ from .detector import BaseDetector
 from .eval import evaluate_detector, format_results_table, profile_detector
 from .metrics import evaluate_detection
 from .ensemble import EnsembleDetector
+from .robustness import CheckpointError, FaultPolicy, TrainingDivergedError
 from .streaming import StreamingDetector
 
 __version__ = "1.0.0"
@@ -47,5 +51,8 @@ __all__ = [
     "evaluate_detection",
     "StreamingDetector",
     "EnsembleDetector",
+    "FaultPolicy",
+    "CheckpointError",
+    "TrainingDivergedError",
     "__version__",
 ]

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.spatial import cKDTree
 
-from ..detector import BaseDetector
+from ..detector import BaseDetector, check_finite_series
 
 __all__ = ["LOF", "IsolationForest"]
 
@@ -65,6 +65,7 @@ class LOF(BaseDetector):
     def score(self, series: np.ndarray) -> np.ndarray:
         self._require_fitted()
         assert self._tree is not None
+        series = check_finite_series(series, name="LOF scoring input")
         k = min(self.n_neighbors, self._tree.n)
         distances, neighbors = self._tree.query(series, k=k)
         if k == 1:
@@ -175,6 +176,7 @@ class IsolationForest(BaseDetector):
 
     def score(self, series: np.ndarray) -> np.ndarray:
         self._require_fitted()
+        series = check_finite_series(series, name="IForest scoring input")
         depths = np.mean([tree.path_length(series) for tree in self._trees], axis=0)
         c = float(_average_path_length(np.array([self._sample_size]))[0]) or 1.0
         return np.power(2.0, -depths / c)

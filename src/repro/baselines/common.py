@@ -19,7 +19,7 @@ from typing import Protocol
 import numpy as np
 
 from ..datasets.windows import non_overlapping_windows, score_series
-from ..detector import BaseDetector
+from ..detector import BaseDetector, check_finite_series
 from ..nn.optim import Adam
 
 __all__ = ["WindowScoringModel", "WindowModelDetector"]
@@ -118,6 +118,7 @@ class WindowModelDetector(BaseDetector):
     def score(self, series: np.ndarray) -> np.ndarray:
         self._require_fitted()
         assert self.model is not None
+        series = check_finite_series(series, name=f"{self.name} scoring input")
         return score_series(
             series,
             size=self.window_size,

@@ -57,6 +57,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="threshold ratio r%% (default: dataset preset)")
     run.add_argument("--no-adjust", action="store_true",
                      help="skip point adjustment when computing metrics")
+    run.add_argument("--checkpoint-dir", default=None,
+                     help="TFMAE only: write atomic training checkpoints to "
+                          "this directory (see docs/robustness.md)")
+    run.add_argument("--resume", action="store_true",
+                     help="TFMAE only: resume training from --checkpoint-dir "
+                          "when a compatible checkpoint exists")
     return parser
 
 
@@ -68,7 +74,14 @@ def _build_detector(args: argparse.Namespace):
         overrides = {}
         if args.anomaly_ratio is not None:
             overrides["anomaly_ratio"] = args.anomaly_ratio
+        if args.checkpoint_dir is not None:
+            overrides["checkpoint_dir"] = args.checkpoint_dir
+            overrides["resume"] = args.resume
+        elif args.resume:
+            raise SystemExit("--resume requires --checkpoint-dir")
         return TFMAE(preset_for(args.dataset, base=base, **overrides))
+    if args.checkpoint_dir is not None or args.resume:
+        raise SystemExit("--checkpoint-dir/--resume are only supported for --method TFMAE")
     ctor = BASELINE_REGISTRY[args.method]
     ratio = args.anomaly_ratio if args.anomaly_ratio is not None else 1.0
     if args.method in ("LOF", "IForest"):
@@ -99,6 +112,9 @@ def main(argv: list[str] | None = None) -> int:
     dataset = get_dataset(args.dataset, seed=args.seed, scale=args.scale)
     detector = _build_detector(args)
     result = evaluate_detector(detector, dataset, adjust=not args.no_adjust)
+    log = getattr(detector, "training_log", None)
+    if log is not None and log.resumed:
+        print(f"resumed from checkpoint in {args.checkpoint_dir}")
     print(format_results_table([result], title=f"{args.method} on {args.dataset}"))
     return 0
 

@@ -59,6 +59,22 @@ class TFMAEConfig:
     # sidesteps this by training a single epoch at full scale, but
     # multi-epoch schedules at smaller scales need the guard.
     early_stop_patience: int | None = None
+    # --- fault tolerance (see repro.robustness and docs/robustness.md) ---
+    # Directory for periodic atomic training checkpoints (model, optimizer,
+    # RNG state, probe AUC); None disables checkpointing.
+    checkpoint_dir: str | None = None
+    checkpoint_every: int = 1          # epochs between checkpoint writes
+    # Resume from checkpoint_dir when a compatible checkpoint exists there;
+    # starts fresh (and overwrites) otherwise.
+    resume: bool = False
+    # Divergence guard: on non-finite loss/gradients or epoch-loss
+    # explosion, roll back to the last good state and retry the epoch with
+    # the learning rate scaled by lr_backoff, at most max_divergence_retries
+    # times before raising TrainingDivergedError.
+    max_divergence_retries: int = 3
+    lr_backoff: float = 0.5
+    loss_explosion_factor: float | None = 1e4   # None disables the explosion check
+    check_gradients: bool = True       # scan gradients for NaN/Inf per batch
     # Snapshot selection: after each epoch, score a validation probe
     # corrupted with synthetic 6-sigma spikes at known positions and keep
     # the weights with the best spike-vs-normal ROC-AUC.  Label-free (the
@@ -90,6 +106,14 @@ class TFMAEConfig:
             raise ValueError("frequency_mask_ratio must be in [0, 100]")
         if self.d_model % self.num_heads != 0:
             raise ValueError("d_model must be divisible by num_heads")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.max_divergence_retries < 0:
+            raise ValueError("max_divergence_retries must be >= 0")
+        if not 0.0 < self.lr_backoff < 1.0:
+            raise ValueError("lr_backoff must be in (0, 1)")
+        if self.loss_explosion_factor is not None and self.loss_explosion_factor <= 1.0:
+            raise ValueError("loss_explosion_factor must exceed 1")
 
     def with_overrides(self, **kwargs) -> "TFMAEConfig":
         """Return a copy with the given fields replaced."""

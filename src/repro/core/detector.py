@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..datasets.windows import score_series
-from ..detector import BaseDetector
+from ..detector import BaseDetector, check_finite_series
 from .config import TFMAEConfig
 from .model import TFMAEModel
 from .trainer import TFMAETrainer, TrainingLog
@@ -60,6 +60,7 @@ class TFMAE(BaseDetector):
         """Per-observation contrastive discrepancy (Eq. 16)."""
         self._require_fitted()
         assert self.model is not None
+        series = check_finite_series(series, name="TFMAE scoring input")
         return score_series(
             series,
             size=self.config.window_size,

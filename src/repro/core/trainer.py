@@ -4,10 +4,22 @@ Implements the paper's schedule (Section V-A.4): Adam at learning rate
 1e-4, batch size 64, one epoch over non-overlapping windows of length 100.
 The loop is model-agnostic enough that the Table IV/V ablation variants
 train through the same code path.
+
+Fault tolerance (see ``docs/robustness.md``): when
+``config.checkpoint_dir`` is set the trainer writes an atomic
+training-state checkpoint (weights, optimizer, RNG state, probe AUC)
+every ``checkpoint_every`` epochs and can resume from it bit-exactly
+after a crash.  A :class:`~repro.robustness.DivergenceGuard` watches
+every batch; on non-finite loss/gradients or epoch-loss explosion the
+trainer rolls back to the last good state, scales the learning rate by
+``lr_backoff`` and retries, raising
+:class:`~repro.robustness.TrainingDivergedError` after
+``max_divergence_retries`` failed retries.
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -15,10 +27,26 @@ import numpy as np
 from ..datasets.windows import non_overlapping_windows
 from ..metrics.ranking import roc_auc
 from ..nn.optim import Adam
+from ..robustness.checkpoint import CheckpointManager, config_fingerprint
+from ..robustness.guards import DivergenceGuard, TrainingDivergedError
 from .config import TFMAEConfig
 from .model import TFMAEModel
 
 __all__ = ["TrainingLog", "TFMAETrainer", "build_synthetic_probe"]
+
+#: Config fields allowed to differ between the run that wrote a checkpoint
+#: and the run resuming from it (run control, not trajectory).
+_RESUMABLE_FIELDS = (
+    "checkpoint_dir",
+    "checkpoint_every",
+    "resume",
+    "epochs",
+    "early_stop_patience",
+    "max_divergence_retries",
+    "lr_backoff",
+    "loss_explosion_factor",
+    "check_gradients",
+)
 
 
 def build_synthetic_probe(
@@ -73,6 +101,10 @@ class TrainingLog:
 
     losses: list[float] = field(default_factory=list)
     metrics: list[dict[str, float]] = field(default_factory=list)
+    #: (epoch, reason) pairs for every divergence rollback performed.
+    rollbacks: list[tuple[int, str]] = field(default_factory=list)
+    #: True when this run restored state from a checkpoint before training.
+    resumed: bool = False
 
     def summary(self) -> dict[str, float]:
         if not self.losses:
@@ -83,6 +115,11 @@ class TrainingLog:
             "last_loss": self.losses[-1],
             "mean_loss": float(np.mean(self.losses)),
         }
+
+    def truncate(self, length: int) -> None:
+        """Drop trace entries past ``length`` (divergence rollback)."""
+        del self.losses[length:]
+        del self.metrics[length:]
 
 
 class TFMAETrainer:
@@ -98,12 +135,57 @@ class TFMAETrainer:
         )
         self.log = TrainingLog()
 
+    # ------------------------------------------------------------------
+    # training state snapshots (rollback + checkpoint share one format)
+    # ------------------------------------------------------------------
+    def _snapshot(self, epoch, rng, best_auc, best_state, best_epoch_loss,
+                  epochs_without_improvement, guard) -> dict:
+        return {
+            "epoch": epoch,
+            "model": self.model.state_dict(),
+            "optim": self.optimizer.state_dict(),
+            "rng_state": copy.deepcopy(rng.bit_generator.state),
+            "best_auc": best_auc,
+            "best_state": best_state,
+            "best_epoch_loss": best_epoch_loss,
+            "epochs_without_improvement": epochs_without_improvement,
+            "guard_best": guard.best_epoch_loss,
+            "log_length": len(self.log.losses),
+        }
+
+    def _restore(self, snapshot: dict, rng, guard) -> None:
+        self.model.load_state_dict(snapshot["model"])
+        self.optimizer.load_state_dict(snapshot["optim"])
+        rng.bit_generator.state = copy.deepcopy(snapshot["rng_state"])
+        guard.best_epoch_loss = snapshot["guard_best"]
+        self.log.truncate(snapshot["log_length"])
+
+    def _write_checkpoint(self, manager: CheckpointManager, snapshot: dict) -> None:
+        metadata = {
+            "epoch": snapshot["epoch"],
+            "rng_state": snapshot["rng_state"],
+            "best_probe_auc": None if snapshot["best_auc"] == -np.inf
+            else float(snapshot["best_auc"]),
+            "best_epoch_loss": None if snapshot["best_epoch_loss"] == np.inf
+            else float(snapshot["best_epoch_loss"]),
+            "epochs_without_improvement": snapshot["epochs_without_improvement"],
+            "guard_best_epoch_loss": snapshot["guard_best"],
+            "learning_rate": float(self.optimizer.lr),
+            "config_fingerprint": config_fingerprint(self.config, _RESUMABLE_FIELDS),
+        }
+        extra = None
+        if snapshot["best_state"] is not None:
+            extra = {f"best.{name}": array for name, array in snapshot["best_state"].items()}
+        manager.save(self.model, self.optimizer, metadata, extra_arrays=extra)
+
     def fit(
         self,
         train: np.ndarray,
         shuffle: bool = True,
         verbose: bool = False,
         validation: np.ndarray | None = None,
+        checkpoint_dir: str | None = None,
+        resume: bool | None = None,
     ) -> TrainingLog:
         """Train on a ``(time, features)`` series.
 
@@ -112,8 +194,14 @@ class TFMAETrainer:
         and a validation split is given, the weights revert at the end to
         the epoch with the best synthetic-probe ROC-AUC (see
         :func:`build_synthetic_probe`).
+
+        ``checkpoint_dir``/``resume`` override the config fields of the
+        same names; see the module docstring for the fault-tolerance
+        contract.
         """
         config = self.config
+        checkpoint_dir = checkpoint_dir if checkpoint_dir is not None else config.checkpoint_dir
+        resume = resume if resume is not None else config.resume
         windows = non_overlapping_windows(train, config.window_size)
         if windows.shape[0] == 0:
             raise ValueError(
@@ -129,26 +217,94 @@ class TFMAETrainer:
         best_auc = -np.inf
         best_state = None
 
-        self.model.train()
+        guard = DivergenceGuard(
+            explosion_factor=config.loss_explosion_factor,
+            check_gradients=config.check_gradients,
+        )
+        manager = CheckpointManager(checkpoint_dir) if checkpoint_dir else None
+
+        epoch = 0
         best_epoch_loss = np.inf
         epochs_without_improvement = 0
-        for epoch in range(config.epochs):
+
+        if resume and manager is not None and manager.exists():
+            metadata, extra = manager.load(self.model, self.optimizer)
+            manager.verify_config(metadata, config, _RESUMABLE_FIELDS)
+            rng.bit_generator.state = metadata["rng_state"]
+            epoch = int(metadata["epoch"])
+            best_auc = metadata.get("best_probe_auc")
+            best_auc = -np.inf if best_auc is None else float(best_auc)
+            loaded_best = metadata.get("best_epoch_loss")
+            best_epoch_loss = np.inf if loaded_best is None else float(loaded_best)
+            epochs_without_improvement = int(metadata.get("epochs_without_improvement", 0))
+            guard.best_epoch_loss = metadata.get("guard_best_epoch_loss")
+            best_state = {
+                name[len("best."):]: array
+                for name, array in extra.items()
+                if name.startswith("best.")
+            } or None
+            self.log.resumed = True
+            if verbose:
+                print(f"resumed from {manager.path} at epoch {epoch}")
+
+        # The rollback target: always valid, even before any checkpoint
+        # is written (a divergence in the very first epoch restores the
+        # initial weights).
+        last_good = self._snapshot(epoch, rng, best_auc, best_state,
+                                   best_epoch_loss, epochs_without_improvement, guard)
+        retries = 0
+
+        self.model.train()
+        while epoch < config.epochs:
             order = rng.permutation(windows.shape[0]) if shuffle else np.arange(windows.shape[0])
             epoch_losses = []
+            report = None
             for start in range(0, len(order), config.batch_size):
                 batch = windows[order[start : start + config.batch_size]]
                 loss, metrics = self.model.loss(batch)
-                self.optimizer.zero_grad()
-                loss.backward()
-                self.optimizer.step()
+                loss_value = loss.item()
                 # The adversarial objective's value is 0 by construction
                 # (min minus max of the same quantity), so log the
                 # minimisation component — the meaningful convergence trace.
-                tracked = metrics.get("minimise", loss.item())
+                tracked = metrics.get("minimise", loss_value)
+                report = guard.check_batch_loss(loss_value) or guard.check_batch_loss(tracked)
+                if report is not None:
+                    break
+                self.optimizer.zero_grad()
+                loss.backward()
+                report = guard.check_batch_gradients(self.optimizer.parameters)
+                if report is not None:
+                    break
+                self.optimizer.step()
                 epoch_losses.append(tracked)
                 self.log.losses.append(tracked)
                 self.log.metrics.append(metrics)
-            epoch_loss = float(np.mean(epoch_losses))
+            if report is None:
+                epoch_loss = float(np.mean(epoch_losses))
+                report = guard.check_epoch_loss(epoch_loss)
+
+            if report is not None:
+                self.log.rollbacks.append((epoch, report.reason))
+                retries += 1
+                if retries > config.max_divergence_retries:
+                    raise TrainingDivergedError(
+                        f"training diverged at epoch {epoch + 1} ({report}) and "
+                        f"exhausted {config.max_divergence_retries} rollback "
+                        f"retries; last learning rate {self.optimizer.lr:g}"
+                    )
+                self._restore(last_good, rng, guard)
+                self.optimizer.lr *= config.lr_backoff
+                epoch = last_good["epoch"]
+                best_auc = last_good["best_auc"]
+                best_state = last_good["best_state"]
+                best_epoch_loss = last_good["best_epoch_loss"]
+                epochs_without_improvement = last_good["epochs_without_improvement"]
+                if verbose:
+                    print(f"divergence at epoch {epoch + 1} ({report}); rolled back, "
+                          f"lr -> {self.optimizer.lr:g} "
+                          f"(retry {retries}/{config.max_divergence_retries})")
+                continue
+
             if verbose:
                 print(f"epoch {epoch + 1}/{config.epochs}: mean loss {epoch_loss:.6f}")
             if probe is not None:
@@ -161,6 +317,7 @@ class TFMAETrainer:
                 if auc > best_auc:
                     best_auc = auc
                     best_state = self.model.state_dict()
+            stop_early = False
             if config.early_stop_patience is not None:
                 if epoch_loss < best_epoch_loss:
                     best_epoch_loss = epoch_loss
@@ -170,7 +327,18 @@ class TFMAETrainer:
                     if epochs_without_improvement >= config.early_stop_patience:
                         if verbose:
                             print(f"early stop after epoch {epoch + 1}")
-                        break
+                        stop_early = True
+            epoch += 1
+            last_good = self._snapshot(epoch, rng, best_auc, best_state,
+                                       best_epoch_loss, epochs_without_improvement, guard)
+            if manager is not None and (
+                epoch % config.checkpoint_every == 0
+                or epoch == config.epochs
+                or stop_early
+            ):
+                self._write_checkpoint(manager, last_good)
+            if stop_early:
+                break
         if best_state is not None:
             self.model.load_state_dict(best_state)
         self.model.eval()

@@ -8,10 +8,12 @@ from .io import (
     save_dataset_npz,
 )
 from .injection import (
+    STREAM_FAULTS,
     inject_contextual,
     inject_global,
     inject_seasonal,
     inject_shapelet,
+    inject_stream_fault,
     inject_trend,
     random_positions,
     random_segments,
@@ -41,6 +43,8 @@ __all__ = [
     "inject_shapelet",
     "inject_seasonal",
     "inject_trend",
+    "inject_stream_fault",
+    "STREAM_FAULTS",
     "random_positions",
     "random_segments",
     "DatasetSpec",

@@ -23,6 +23,13 @@ __all__ = [
     "inject_trend",
     "random_positions",
     "random_segments",
+    "inject_nan_burst",
+    "inject_stuck_at",
+    "inject_dropout_gap",
+    "inject_spike_corruption",
+    "inject_scale_drift",
+    "STREAM_FAULTS",
+    "inject_stream_fault",
 ]
 
 
@@ -185,3 +192,149 @@ def inject_trend(
         out[start:stop] = out[start:stop] + slope * np.arange(length)
         labels[start:stop] = 1
     return out, labels
+
+
+# ---------------------------------------------------------------------------
+# Stream-fault taxonomy (telemetry corruption, not anomalies)
+# ---------------------------------------------------------------------------
+# The injectors above model *behavioural* anomalies — real events a
+# detector should flag.  The injectors below model *sensor/transport
+# faults*: malformed telemetry that a production scoring service must
+# survive (see repro.robustness.FaultPolicy and
+# benchmarks/bench_robustness_faults.py).  Same contract: one channel in,
+# (corrupted, mask) out, where the mask marks corrupted positions.
+
+
+def inject_nan_burst(
+    channel: np.ndarray,
+    segments: list[tuple[int, int]],
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """NaN burst: the sensor reports nothing for a contiguous stretch."""
+    out = channel.astype(np.float64).copy()
+    mask = np.zeros(channel.shape[0], dtype=np.int64)
+    for start, stop in segments:
+        out[start:stop] = np.nan
+        mask[start:stop] = 1
+    return out, mask
+
+
+def inject_stuck_at(
+    channel: np.ndarray,
+    segments: list[tuple[int, int]],
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Stuck-at sensor: the last value before the fault repeats verbatim."""
+    out = channel.copy()
+    mask = np.zeros(channel.shape[0], dtype=np.int64)
+    for start, stop in segments:
+        out[start:stop] = channel[max(0, start - 1)]
+        mask[start:stop] = 1
+    return out, mask
+
+
+def inject_dropout_gap(
+    channel: np.ndarray,
+    segments: list[tuple[int, int]],
+    rng: np.random.Generator,
+    fill: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dropout gap: the channel collapses to a default reading (usually 0),
+    the classic signature of a disconnected transducer."""
+    out = channel.copy()
+    mask = np.zeros(channel.shape[0], dtype=np.int64)
+    for start, stop in segments:
+        out[start:stop] = fill
+        mask[start:stop] = 1
+    return out, mask
+
+
+def inject_spike_corruption(
+    channel: np.ndarray,
+    positions: np.ndarray,
+    rng: np.random.Generator,
+    magnitude: float = 1e3,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Spike corruption: isolated non-physical readings (bit flips, ADC
+    glitches) orders of magnitude outside the signal range."""
+    out = channel.copy()
+    mask = np.zeros(channel.shape[0], dtype=np.int64)
+    if positions.size == 0:
+        return out, mask
+    std = channel.std() + 1e-8
+    signs = rng.choice([-1.0, 1.0], size=positions.size)
+    out[positions] = channel.mean() + signs * magnitude * std
+    mask[positions] = 1
+    return out, mask
+
+
+def inject_scale_drift(
+    channel: np.ndarray,
+    segments: list[tuple[int, int]],
+    rng: np.random.Generator,
+    factor_range: tuple[float, float] = (4.0, 8.0),
+) -> tuple[np.ndarray, np.ndarray]:
+    """Scale drift: a gain/unit error multiplies the signal for a stretch
+    (e.g. a firmware update switching raw counts for engineering units)."""
+    out = channel.copy()
+    mask = np.zeros(channel.shape[0], dtype=np.int64)
+    for start, stop in segments:
+        factor = rng.uniform(*factor_range) * rng.choice([1.0, -1.0])
+        out[start:stop] = channel[start:stop] * factor
+        mask[start:stop] = 1
+    return out, mask
+
+
+#: Registry of the stream-fault taxonomy; values are ``(kind, injector)``
+#: where ``kind`` is ``"segment"`` or ``"point"``.
+STREAM_FAULTS: dict[str, tuple[str, object]] = {
+    "nan_burst": ("segment", inject_nan_burst),
+    "stuck_at": ("segment", inject_stuck_at),
+    "dropout_gap": ("segment", inject_dropout_gap),
+    "spike_corruption": ("point", inject_spike_corruption),
+    "scale_drift": ("segment", inject_scale_drift),
+}
+
+
+def inject_stream_fault(
+    series: np.ndarray,
+    fault: str,
+    rng: np.random.Generator,
+    fault_fraction: float = 0.05,
+    segment_length: int = 25,
+    channel_fraction: float = 0.5,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Corrupt a multivariate ``(time, features)`` series with one fault type.
+
+    A random subset of channels (at least one, ``channel_fraction`` of the
+    total) receives the fault over roughly ``fault_fraction`` of the
+    timeline.  Returns ``(corrupted, mask)`` where ``mask`` has shape
+    ``(time,)`` and marks observations with at least one corrupted
+    component — the ground truth for measuring degradation, *not* an
+    anomaly label.
+    """
+    if fault not in STREAM_FAULTS:
+        raise ValueError(
+            f"unknown stream fault {fault!r}; known: {sorted(STREAM_FAULTS)}"
+        )
+    if series.ndim != 2:
+        raise ValueError(f"expected (time, features), got shape {series.shape}")
+    kind, injector = STREAM_FAULTS[fault]
+    time, features = series.shape
+    out = series.astype(np.float64).copy()
+    mask = np.zeros(time, dtype=np.int64)
+    n_channels = max(1, int(round(channel_fraction * features)))
+    channels = rng.choice(features, size=n_channels, replace=False)
+    for channel_index in channels:
+        if kind == "point":
+            count = max(1, int(fault_fraction * time))
+            positions = random_positions(time, count, rng)
+            corrupted, channel_mask = injector(out[:, channel_index], positions, rng)
+        else:
+            length = min(segment_length, max(2, time // 4))
+            count = max(1, int(fault_fraction * time / length))
+            segments = random_segments(time, count, length, rng)
+            corrupted, channel_mask = injector(out[:, channel_index], segments, rng)
+        out[:, channel_index] = corrupted
+        mask |= channel_mask
+    return out, mask

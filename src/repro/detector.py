@@ -23,7 +23,24 @@ import numpy as np
 
 from .metrics.threshold import apply_threshold, ratio_threshold
 
-__all__ = ["BaseDetector"]
+__all__ = ["BaseDetector", "check_finite_series"]
+
+
+def check_finite_series(series: np.ndarray, name: str = "series") -> np.ndarray:
+    """Reject NaN/Inf inputs with a clear error instead of letting them
+    propagate into opaque numpy failures or silently non-finite scores.
+
+    Every detector's ``score`` calls this on entry; streaming callers that
+    must survive corrupted telemetry repair it first via
+    :class:`repro.robustness.FaultPolicy`.
+    """
+    series = np.asarray(series)
+    if not np.all(np.isfinite(series)):
+        raise ValueError(
+            f"{name} contains NaN/Inf values; impute or drop them first "
+            "(streaming callers can use repro.robustness.FaultPolicy)"
+        )
+    return series
 
 
 class BaseDetector(ABC):
@@ -57,10 +74,7 @@ class BaseDetector(ABC):
         """Train and, when a validation split is given, calibrate ``delta``."""
         if train.ndim != 2:
             raise ValueError(f"train must be (time, features), got shape {train.shape}")
-        if not np.all(np.isfinite(train)):
-            raise ValueError(
-                "training data contains NaN/inf values; impute or drop them first"
-            )
+        check_finite_series(train, name="training data")
         self._fit(train)
         self._fitted = True
         if validation is not None:

@@ -25,7 +25,7 @@ from typing import Literal, Sequence
 
 import numpy as np
 
-from .detector import BaseDetector
+from .detector import BaseDetector, check_finite_series
 
 __all__ = ["EnsembleDetector"]
 
@@ -118,6 +118,7 @@ class EnsembleDetector(BaseDetector):
 
     def score(self, series: np.ndarray) -> np.ndarray:
         self._require_fitted()
+        series = check_finite_series(series, name="ensemble scoring input")
         stacked = np.stack([
             normaliser.transform(member.score(series))
             for member, normaliser in zip(self.members, self._normalisers)

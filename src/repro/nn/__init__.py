@@ -23,7 +23,13 @@ from .layers import (
 )
 from .module import Module, Parameter
 from .optim import SGD, Adam, Optimizer
-from .serialization import load_model, save_model
+from .serialization import (
+    CheckpointError,
+    load_model,
+    load_training_state,
+    save_model,
+    save_training_state,
+)
 from .tensor import Tensor, as_tensor, is_grad_enabled, no_grad
 from .transformer import TransformerLayer, TransformerStack, sinusoidal_positional_encoding
 
@@ -55,4 +61,7 @@ __all__ = [
     "Adam",
     "save_model",
     "load_model",
+    "save_training_state",
+    "load_training_state",
+    "CheckpointError",
 ]

@@ -30,6 +30,43 @@ class Optimizer:
     def step(self) -> None:
         raise NotImplementedError
 
+    # ------------------------------------------------------------------
+    # state (de)serialisation — flat name -> ndarray, checkpoint-friendly
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat mapping of optimiser state; scalars become 0-d arrays."""
+        return {}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore state produced by :meth:`state_dict` in-place.
+
+        Raises
+        ------
+        KeyError
+            If an expected entry is missing.
+        ValueError
+            On any per-parameter shape mismatch.
+        """
+
+    def _restore_slots(
+        self,
+        state: dict[str, np.ndarray],
+        prefix: str,
+        slots: list[np.ndarray],
+    ) -> None:
+        """Copy ``{prefix}.{i}`` arrays from ``state`` into ``slots``."""
+        for i, slot in enumerate(slots):
+            key = f"{prefix}.{i}"
+            if key not in state:
+                raise KeyError(f"optimizer state missing entry: {key}")
+            value = np.asarray(state[key])
+            if value.shape != slot.shape:
+                raise ValueError(
+                    f"optimizer state shape mismatch for {key}: "
+                    f"expected {slot.shape}, got {value.shape}"
+                )
+            slot[...] = value
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional momentum."""
@@ -53,6 +90,16 @@ class SGD(Optimizer):
             else:
                 update = param.grad
             param.data = param.data - self.lr * update
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state: dict[str, np.ndarray] = {"lr": np.asarray(self.lr)}
+        state.update({f"velocity.{i}": v.copy() for i, v in enumerate(self._velocity)})
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        if "lr" in state:
+            self.lr = float(state["lr"])
+        self._restore_slots(state, "velocity", self._velocity)
 
 
 class Adam(Optimizer):
@@ -100,3 +147,21 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        state: dict[str, np.ndarray] = {
+            "step": np.asarray(self._step),
+            "lr": np.asarray(self.lr),
+        }
+        state.update({f"m.{i}": m.copy() for i, m in enumerate(self._m)})
+        state.update({f"v.{i}": v.copy() for i, v in enumerate(self._v)})
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        if "step" not in state:
+            raise KeyError("optimizer state missing entry: step")
+        self._step = int(state["step"])
+        if "lr" in state:
+            self.lr = float(state["lr"])
+        self._restore_slots(state, "m", self._m)
+        self._restore_slots(state, "v", self._v)

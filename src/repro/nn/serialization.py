@@ -1,29 +1,227 @@
-"""Model checkpointing via numpy ``.npz`` archives."""
+"""Model and training-state checkpointing via numpy ``.npz`` archives.
+
+Two layers of durability:
+
+* :func:`save_model` / :func:`load_model` persist a module's weights.
+  Writes are **atomic** (temp file in the target directory, then
+  ``os.replace``), so a crash mid-write can never corrupt an existing
+  checkpoint; loads validate the archive's key set and array shapes
+  against the receiving module and raise :class:`CheckpointError` naming
+  every missing/unexpected/mismatched entry.
+* :func:`save_training_state` / :func:`load_training_state` additionally
+  capture optimizer state and a JSON metadata blob (epoch, RNG state,
+  probe AUC, config fingerprint) in the same archive, which is what
+  crash/resume in :class:`~repro.core.trainer.TFMAETrainer` builds on.
+"""
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
 from pathlib import Path
 
 import numpy as np
 
 from .module import Module
+from .optim import Optimizer
 
-__all__ = ["save_model", "load_model"]
+__all__ = [
+    "CheckpointError",
+    "save_model",
+    "load_model",
+    "atomic_savez",
+    "save_training_state",
+    "load_training_state",
+]
+
+#: Reserved archive member holding the JSON metadata of a training-state
+#: checkpoint (stored as a uint8 byte array; npz members must be arrays).
+_META_KEY = "__meta__"
+_MODEL_PREFIX = "model."
+_OPTIM_PREFIX = "optim."
 
 
-def save_model(module: Module, path: str | Path) -> None:
-    """Write the module's state dict to ``path`` (``.npz`` appended if absent)."""
+class CheckpointError(RuntimeError):
+    """A checkpoint file is missing, incomplete, or incompatible."""
+
+
+def _canonical_path(path: str | Path) -> Path:
+    """``np.savez`` appends ``.npz`` when absent; mirror that up front so
+    the atomic rename targets the final name."""
     path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def atomic_savez(path: str | Path, arrays: dict[str, np.ndarray]) -> Path:
+    """Write ``arrays`` to ``path`` as ``.npz`` via temp-file + rename.
+
+    The temp file lives in the destination directory so the final
+    ``os.replace`` stays within one filesystem and is atomic; a crash at
+    any point leaves either the old checkpoint or the new one, never a
+    truncated hybrid.
+    """
+    path = _canonical_path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".npz.tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **arrays)
+        os.replace(tmp_name, path)
+    except BaseException:
+        if os.path.exists(tmp_name):
+            os.unlink(tmp_name)
+        raise
+    return path
+
+
+def save_model(module: Module, path: str | Path) -> Path:
+    """Atomically write the module's state dict to ``path``."""
     state = module.state_dict()
     # numpy rejects '/' in npz member names on some versions; keys use '.' already.
-    np.savez(path, **{name: array for name, array in state.items()})
+    return atomic_savez(path, dict(state))
 
 
-def load_model(module: Module, path: str | Path) -> Module:
-    """Load a checkpoint written by :func:`save_model` into ``module``."""
+def _resolve(path: str | Path) -> Path:
     path = Path(path)
     if not path.exists() and path.with_suffix(".npz").exists():
         path = path.with_suffix(".npz")
-    with np.load(path) as archive:
-        module.load_state_dict({name: archive[name] for name in archive.files})
+    if not path.exists():
+        raise CheckpointError(f"no checkpoint found at {path}")
+    return path
+
+
+def _validate_state(module: Module, state: dict[str, np.ndarray], source: Path) -> None:
+    """Check a loaded state dict against the module before mutating it."""
+    expected = {name: tuple(param.shape) for name, param in module.named_parameters()}
+    missing = sorted(set(expected) - set(state))
+    unexpected = sorted(set(state) - set(expected))
+    mismatched = [
+        f"{name} (checkpoint {tuple(state[name].shape)} vs model {expected[name]})"
+        for name in sorted(set(expected) & set(state))
+        if tuple(state[name].shape) != expected[name]
+    ]
+    if missing or unexpected or mismatched:
+        problems = []
+        if missing:
+            problems.append(f"missing keys: {', '.join(missing)}")
+        if unexpected:
+            problems.append(f"unexpected keys: {', '.join(unexpected)}")
+        if mismatched:
+            problems.append(f"shape mismatches: {'; '.join(mismatched)}")
+        raise CheckpointError(
+            f"checkpoint {source} is incompatible with {type(module).__name__}: "
+            + " | ".join(problems)
+        )
+
+
+def load_model(module: Module, path: str | Path) -> Module:
+    """Load a checkpoint written by :func:`save_model` into ``module``.
+
+    Raises
+    ------
+    CheckpointError
+        When the file is absent or its key set / array shapes do not
+        match the module's parameters.
+    """
+    path = _resolve(path)
+    try:
+        with np.load(path) as archive:
+            state = {name: archive[name] for name in archive.files}
+    except (OSError, ValueError) as error:
+        raise CheckpointError(f"checkpoint {path} is unreadable: {error}") from error
+    # Accept both bare model archives and full training-state archives.
+    if any(name.startswith(_MODEL_PREFIX) for name in state) and _META_KEY in state:
+        state = {
+            name[len(_MODEL_PREFIX):]: array
+            for name, array in state.items()
+            if name.startswith(_MODEL_PREFIX)
+        }
+    _validate_state(module, state, path)
+    module.load_state_dict(state)
     return module
+
+
+def save_training_state(
+    path: str | Path,
+    model: Module,
+    optimizer: Optimizer | None = None,
+    metadata: dict | None = None,
+    extra_arrays: dict[str, np.ndarray] | None = None,
+) -> Path:
+    """Atomically persist model + optimizer + JSON metadata in one archive.
+
+    ``metadata`` must be JSON-serialisable (RNG bit-generator states and
+    dataclass-as-dict config fingerprints are); ``extra_arrays`` admits
+    additional named arrays, e.g. a best-so-far model snapshot.
+    """
+    arrays: dict[str, np.ndarray] = {
+        f"{_MODEL_PREFIX}{name}": array for name, array in model.state_dict().items()
+    }
+    if optimizer is not None:
+        arrays.update(
+            {f"{_OPTIM_PREFIX}{name}": array for name, array in optimizer.state_dict().items()}
+        )
+    if extra_arrays:
+        arrays.update(extra_arrays)
+    payload = json.dumps(metadata if metadata is not None else {})
+    arrays[_META_KEY] = np.frombuffer(payload.encode("utf-8"), dtype=np.uint8)
+    return atomic_savez(path, arrays)
+
+
+def load_training_state(
+    path: str | Path,
+    model: Module,
+    optimizer: Optimizer | None = None,
+) -> tuple[dict, dict[str, np.ndarray]]:
+    """Restore a :func:`save_training_state` archive.
+
+    Loads weights into ``model`` (validated) and state into ``optimizer``
+    when given; returns ``(metadata, extra_arrays)`` with every archive
+    member that belongs to neither.
+    """
+    path = _resolve(path)
+    try:
+        with np.load(path) as archive:
+            members = {name: archive[name] for name in archive.files}
+    except (OSError, ValueError) as error:
+        raise CheckpointError(f"checkpoint {path} is unreadable: {error}") from error
+    if _META_KEY not in members:
+        raise CheckpointError(
+            f"checkpoint {path} has no metadata record; was it written by "
+            "save_model() instead of save_training_state()?"
+        )
+    try:
+        metadata = json.loads(bytes(members.pop(_META_KEY)).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise CheckpointError(f"checkpoint {path} has corrupt metadata: {error}") from error
+
+    model_state = {
+        name[len(_MODEL_PREFIX):]: array
+        for name, array in members.items()
+        if name.startswith(_MODEL_PREFIX)
+    }
+    _validate_state(model, model_state, path)
+    model.load_state_dict(model_state)
+
+    optim_state = {
+        name[len(_OPTIM_PREFIX):]: array
+        for name, array in members.items()
+        if name.startswith(_OPTIM_PREFIX)
+    }
+    if optimizer is not None:
+        try:
+            optimizer.load_state_dict(optim_state)
+        except (KeyError, ValueError) as error:
+            raise CheckpointError(
+                f"checkpoint {path} optimizer state is incompatible: {error}"
+            ) from error
+
+    extra = {
+        name: array
+        for name, array in members.items()
+        if not name.startswith((_MODEL_PREFIX, _OPTIM_PREFIX))
+    }
+    return metadata, extra

@@ -1,0 +1,34 @@
+"""``repro.robustness`` — fault tolerance for training and streaming.
+
+The deployments that motivate the paper (Section I: water treatment,
+spacecraft, server fleets) are exactly the settings where long training
+runs die mid-epoch and live telemetry arrives corrupted.  This subpackage
+makes both hot paths survivable:
+
+* :mod:`~repro.robustness.checkpoint` — atomic training-state
+  checkpoints (model + optimizer + RNG + metadata) with config
+  fingerprinting, powering ``--resume``;
+* :mod:`~repro.robustness.guards` — divergence detection (non-finite
+  loss/gradients, loss explosion) driving rollback + learning-rate
+  backoff in the trainer;
+* :mod:`~repro.robustness.faults` — :class:`FaultPolicy`, the streaming
+  degradation contract (impute, clamp, reject, fall back) consumed by
+  :class:`~repro.streaming.StreamingDetector`.
+"""
+
+from ..nn.serialization import CheckpointError
+from .checkpoint import CheckpointManager, config_fingerprint, fingerprint_mismatches
+from .faults import FaultPolicy, sanitize_observation
+from .guards import DivergenceGuard, GuardReport, TrainingDivergedError
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointManager",
+    "config_fingerprint",
+    "fingerprint_mismatches",
+    "DivergenceGuard",
+    "GuardReport",
+    "TrainingDivergedError",
+    "FaultPolicy",
+    "sanitize_observation",
+]

@@ -1,0 +1,120 @@
+"""Training-state checkpoint management for crash/resume.
+
+A :class:`CheckpointManager` owns one rolling checkpoint file inside a
+directory.  Every :meth:`~CheckpointManager.save` goes through
+:func:`repro.nn.serialization.atomic_savez`, so the previous checkpoint
+survives any crash mid-write; :meth:`~CheckpointManager.load` restores
+model weights, optimizer state and the JSON metadata (epoch, RNG state,
+probe AUC, config fingerprint) in one call.
+
+Config fingerprints guard against resuming with silently different
+hyper-parameters: the trainer stores :func:`config_fingerprint` at save
+time and refuses (with the differing field names) when the resuming
+config disagrees on anything that changes the optimisation trajectory.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+import numpy as np
+
+from ..nn.module import Module
+from ..nn.optim import Optimizer
+from ..nn.serialization import (
+    CheckpointError,
+    load_training_state,
+    save_training_state,
+)
+
+__all__ = ["CheckpointManager", "config_fingerprint", "fingerprint_mismatches"]
+
+
+def config_fingerprint(config, exclude: tuple[str, ...] = ()) -> dict:
+    """JSON-serialisable snapshot of a config dataclass's fields.
+
+    ``exclude`` names run-control fields (resume flags, epoch budgets,
+    checkpoint locations) that may legitimately differ between the run
+    that wrote a checkpoint and the run resuming from it.
+    """
+    if dataclasses.is_dataclass(config):
+        raw = dataclasses.asdict(config)
+    elif isinstance(config, dict):
+        raw = dict(config)
+    else:
+        raise TypeError(f"cannot fingerprint {type(config).__name__}")
+    # Round-trip-stable representation: JSON has no int/float distinction
+    # guarantees across dump/load, so normalise values to str for compare.
+    return {
+        key: repr(value) for key, value in sorted(raw.items()) if key not in exclude
+    }
+
+
+def fingerprint_mismatches(saved: dict, current: dict) -> list[str]:
+    """Field names whose values differ between two fingerprints."""
+    keys = set(saved) | set(current)
+    return sorted(
+        key for key in keys if saved.get(key) != current.get(key)
+    )
+
+
+class CheckpointManager:
+    """One rolling, atomically-written training checkpoint in a directory.
+
+    Parameters
+    ----------
+    directory:
+        Where the checkpoint lives; created on first save.
+    filename:
+        Archive name inside ``directory``.
+    """
+
+    DEFAULT_FILENAME = "training_state.npz"
+
+    def __init__(self, directory: str | Path, filename: str = DEFAULT_FILENAME):
+        self.directory = Path(directory)
+        self.path = self.directory / filename
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def save(
+        self,
+        model: Module,
+        optimizer: Optimizer | None,
+        metadata: dict,
+        extra_arrays: dict[str, np.ndarray] | None = None,
+    ) -> Path:
+        """Atomically persist the full training state."""
+        return save_training_state(
+            self.path, model, optimizer, metadata=metadata, extra_arrays=extra_arrays
+        )
+
+    def load(
+        self,
+        model: Module,
+        optimizer: Optimizer | None = None,
+    ) -> tuple[dict, dict[str, np.ndarray]]:
+        """Restore the checkpoint into ``model``/``optimizer``.
+
+        Returns ``(metadata, extra_arrays)``; raises
+        :class:`~repro.nn.serialization.CheckpointError` when absent or
+        incompatible.
+        """
+        if not self.exists():
+            raise CheckpointError(f"no checkpoint found at {self.path}")
+        return load_training_state(self.path, model, optimizer)
+
+    def verify_config(self, metadata: dict, config, exclude: tuple[str, ...] = ()) -> None:
+        """Raise when the checkpoint was written under a different config."""
+        saved = metadata.get("config_fingerprint")
+        if saved is None:
+            return
+        mismatches = fingerprint_mismatches(saved, config_fingerprint(config, exclude))
+        if mismatches:
+            raise CheckpointError(
+                f"checkpoint {self.path} was written with a different config; "
+                f"differing fields: {', '.join(mismatches)}. Delete the "
+                "checkpoint directory or restore the original settings."
+            )

@@ -1,0 +1,119 @@
+"""Streaming fault policy: what to do with corrupted telemetry.
+
+Live sensors drop out (NaN bursts), stick, spike to non-physical values,
+or change scale; a scoring service that raises on the first bad packet
+is useless in precisely the incidents it exists for.  A
+:class:`FaultPolicy` tells :class:`~repro.streaming.StreamingDetector`
+how to degrade instead:
+
+* **impute** — replace NaN/Inf components with the per-feature median of
+  the rolling context buffer (the best label-free local estimate);
+* **clamp** — squash values beyond ``clamp_sigma`` buffer standard
+  deviations back to the boundary, defanging non-physical spikes while
+  leaving the (large but finite) anomaly signal measurable;
+* **reject** — dimension-mismatched or (with imputation disabled)
+  non-finite observations produce a flagged event instead of an
+  exception and never enter the buffer;
+* **fall back** — when the primary detector's ``score`` raises or goes
+  non-finite, a cheap secondary detector (e.g. a classical baseline)
+  takes over, with periodic recovery probes of the primary.
+
+Every intervention is recorded in the emitted
+:class:`~repro.streaming.StreamEvent`'s ``flags`` so downstream alerting
+can distinguish a clean score from a degraded one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..detector import BaseDetector
+
+__all__ = ["FaultPolicy", "sanitize_observation"]
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Degradation contract for :class:`~repro.streaming.StreamingDetector`.
+
+    Parameters
+    ----------
+    impute_nonfinite:
+        Replace NaN/Inf components from the rolling buffer instead of
+        rejecting the observation.
+    clamp_sigma:
+        Clamp each feature to ``mean ± clamp_sigma·std`` of the buffer;
+        ``None`` disables clamping.  Use values well above the anomaly
+        magnitudes you care about (e.g. 20) so detection survives.
+    fallback:
+        A fitted, threshold-calibrated detector that scores the window
+        when the primary raises or returns a non-finite score.  ``None``
+        means degraded updates emit ``score=nan`` flagged events.
+    recovery_every:
+        While degraded, retry the primary every this many updates; on
+        success the stream flips back and flags the event ``recovered``.
+    """
+
+    impute_nonfinite: bool = True
+    clamp_sigma: float | None = None
+    fallback: BaseDetector | None = None
+    recovery_every: int = 25
+
+    def __post_init__(self) -> None:
+        if self.clamp_sigma is not None and self.clamp_sigma <= 0:
+            raise ValueError(f"clamp_sigma must be positive, got {self.clamp_sigma}")
+        if self.recovery_every < 1:
+            raise ValueError(f"recovery_every must be >= 1, got {self.recovery_every}")
+        if self.fallback is not None and self.fallback.threshold_ is None:
+            raise ValueError(
+                "fallback detector must be fit and threshold-calibrated "
+                "before use in a FaultPolicy"
+            )
+
+
+def sanitize_observation(
+    observation: np.ndarray,
+    context: np.ndarray | None,
+    policy: FaultPolicy,
+) -> tuple[np.ndarray | None, tuple[str, ...]]:
+    """Apply impute/clamp repairs to one observation.
+
+    Parameters
+    ----------
+    observation:
+        1-D feature vector, possibly containing NaN/Inf.
+    context:
+        ``(n, features)`` stack of the (already finite) rolling buffer,
+        or ``None``/empty before any history exists.
+    policy:
+        The active :class:`FaultPolicy`.
+
+    Returns
+    -------
+    ``(repaired, flags)`` — ``repaired`` is ``None`` when the policy
+    rejects the observation outright.
+    """
+    obs = np.array(observation, dtype=np.float64)
+    flags: list[str] = []
+    bad = ~np.isfinite(obs)
+    if bad.any():
+        if not policy.impute_nonfinite:
+            return None, ("rejected_nonfinite",)
+        if context is not None and len(context):
+            fill = np.median(context, axis=0)
+        else:
+            fill = np.zeros_like(obs)
+        obs[bad] = fill[bad]
+        flags.append("imputed")
+    if policy.clamp_sigma is not None and context is not None and len(context) >= 2:
+        mean = context.mean(axis=0)
+        std = context.std(axis=0) + 1e-8
+        clipped = np.clip(
+            obs, mean - policy.clamp_sigma * std, mean + policy.clamp_sigma * std
+        )
+        if np.any(clipped != obs):
+            flags.append("clamped")
+        obs = clipped
+    return obs, tuple(flags)

@@ -1,0 +1,110 @@
+"""Divergence detection for the training loop.
+
+Adversarial objectives (Eq. 15) can run away: a bad batch or an
+aggressive learning rate produces NaN/Inf losses or exploding gradients
+that, without a guard, silently poison every subsequent update (Adam's
+moment buffers never forget a NaN).  :class:`DivergenceGuard` watches
+three signals —
+
+* per-batch loss finiteness,
+* per-batch gradient finiteness,
+* epoch-mean loss explosion relative to the best epoch seen —
+
+and reports the first violation so the trainer can roll back to the last
+good checkpoint and retry with a smaller learning rate.  Bounded retries
+that all diverge end in :class:`TrainingDivergedError`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ..nn.module import Parameter
+
+__all__ = ["TrainingDivergedError", "GuardReport", "DivergenceGuard"]
+
+
+class TrainingDivergedError(RuntimeError):
+    """Training diverged and exhausted its rollback/backoff retries."""
+
+
+@dataclass(frozen=True)
+class GuardReport:
+    """One detected divergence: what tripped and where."""
+
+    reason: str   # "non_finite_loss" | "non_finite_gradient" | "loss_explosion"
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.reason}: {self.detail}"
+
+
+class DivergenceGuard:
+    """Stateful divergence detector for one training run.
+
+    Parameters
+    ----------
+    explosion_factor:
+        An epoch whose mean loss exceeds ``explosion_factor`` times the
+        magnitude of the best epoch-mean loss counts as diverged;
+        ``None`` disables the explosion check (non-finite checks stay
+        on).  The default is deliberately loose — it catches runaway
+        adversarial training, not ordinary noise.
+    check_gradients:
+        Also scan parameter gradients for NaN/Inf after each backward
+        pass.  O(#parameters) per batch; disable on very large models.
+    """
+
+    def __init__(self, explosion_factor: float | None = 1e4, check_gradients: bool = True):
+        if explosion_factor is not None and explosion_factor <= 1.0:
+            raise ValueError(f"explosion_factor must exceed 1, got {explosion_factor}")
+        self.explosion_factor = explosion_factor
+        self.check_gradients = check_gradients
+        self._best_epoch_loss: float | None = None
+
+    @property
+    def best_epoch_loss(self) -> float | None:
+        """Reference loss for the explosion check (checkpointed/restored)."""
+        return self._best_epoch_loss
+
+    @best_epoch_loss.setter
+    def best_epoch_loss(self, value: float | None) -> None:
+        self._best_epoch_loss = value
+
+    def check_batch_loss(self, value: float) -> GuardReport | None:
+        if not math.isfinite(value):
+            return GuardReport("non_finite_loss", f"batch loss is {value}")
+        return None
+
+    def check_batch_gradients(self, parameters: Iterable[Parameter]) -> GuardReport | None:
+        if not self.check_gradients:
+            return None
+        for i, param in enumerate(parameters):
+            grad = param.grad
+            if grad is not None and not np.all(np.isfinite(grad)):
+                name = getattr(param, "name", None) or f"parameter[{i}]"
+                return GuardReport("non_finite_gradient", f"gradient of {name} has NaN/Inf")
+        return None
+
+    def check_epoch_loss(self, epoch_loss: float) -> GuardReport | None:
+        """Track the best epoch loss and flag explosions relative to it."""
+        if not math.isfinite(epoch_loss):
+            return GuardReport("non_finite_loss", f"epoch mean loss is {epoch_loss}")
+        if (
+            self.explosion_factor is not None
+            and self._best_epoch_loss is not None
+            and epoch_loss > self.explosion_factor * max(abs(self._best_epoch_loss), 1e-8)
+        ):
+            return GuardReport(
+                "loss_explosion",
+                f"epoch mean loss {epoch_loss:.6g} exceeds "
+                f"{self.explosion_factor:g}x the best epoch loss "
+                f"{self._best_epoch_loss:.6g}",
+            )
+        if self._best_epoch_loss is None or epoch_loss < self._best_epoch_loss:
+            self._best_epoch_loss = epoch_loss
+        return None

@@ -7,6 +7,16 @@ context buffer: each incoming observation is scored against the most
 recent ``context`` observations, so window-based models (TFMAE and the
 deep baselines) see a full window ending at the new point.
 
+Real telemetry arrives corrupted — NaN bursts, stuck sensors, wrong
+dimensionality after a fleet config change.  Without a policy the
+detector fails loudly (a clear :class:`ValueError`, never a ragged
+buffer or a silent NaN score); with a
+:class:`~repro.robustness.FaultPolicy` it degrades gracefully instead:
+malformed components are imputed/clamped from the buffer, rejected
+observations produce flagged events, and an optional fallback detector
+takes over when the primary's ``score`` raises, with periodic recovery
+probes.  Every intervention is recorded in ``StreamEvent.flags``.
+
 Notes
 -----
 * The wrapped detector must already be fit and threshold-calibrated.
@@ -20,23 +30,38 @@ Notes
 
 from __future__ import annotations
 
+import math
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from .detector import BaseDetector
+from .robustness.faults import FaultPolicy, sanitize_observation
 
-__all__ = ["StreamEvent", "StreamingDetector"]
+__all__ = ["StreamEvent", "StreamingDetector", "FaultPolicy"]
 
 
 @dataclass(frozen=True)
 class StreamEvent:
-    """Outcome of scoring one streamed observation."""
+    """Outcome of scoring one streamed observation.
+
+    ``score`` is NaN whenever no meaningful score exists (warmup, a
+    rejected observation, or a degraded update without a fallback); the
+    ``flags`` tuple says why.  Flag vocabulary: ``warmup``, ``imputed``,
+    ``clamped``, ``rejected_nonfinite``, ``dim_mismatch``, ``fallback``,
+    ``primary_error``, ``nonfinite_score``, ``recovered``.
+    """
 
     index: int
     score: float
     is_anomaly: bool
+    flags: tuple[str, ...] = field(default=())
+
+    @property
+    def degraded(self) -> bool:
+        """True when this event was produced under any fault handling."""
+        return bool(self.flags)
 
 
 class StreamingDetector:
@@ -52,11 +77,21 @@ class StreamingDetector:
         size (e.g. ``config.window_size`` for TFMAE).
     warmup:
         Until this many observations have arrived, events are reported
-        with ``is_anomaly=False`` and score 0 — there is not enough
-        context to score meaningfully.
+        with ``is_anomaly=False`` and ``score=nan`` (flag ``warmup``) —
+        there is not enough context to score meaningfully.
+    policy:
+        Optional :class:`~repro.robustness.FaultPolicy` enabling graceful
+        degradation on corrupted input.  Without one, malformed
+        observations raise :class:`ValueError` with a clear message.
     """
 
-    def __init__(self, detector: BaseDetector, context: int = 100, warmup: int | None = None):
+    def __init__(
+        self,
+        detector: BaseDetector,
+        context: int = 100,
+        warmup: int | None = None,
+        policy: FaultPolicy | None = None,
+    ):
         if detector.threshold_ is None:
             raise ValueError("detector must be threshold-calibrated before streaming")
         if context < 2:
@@ -64,28 +99,113 @@ class StreamingDetector:
         self.detector = detector
         self.context = context
         self.warmup = warmup if warmup is not None else context
+        self.policy = policy
         self._buffer: deque[np.ndarray] = deque(maxlen=context)
         self._count = 0
+        self._dimension: int | None = None
+        self._degraded = False
+        self._updates_since_degraded = 0
 
     @property
     def observations_seen(self) -> int:
         return self._count
 
+    @property
+    def degraded(self) -> bool:
+        """True while the primary detector is out of service (fallback mode)."""
+        return self._degraded
+
+    # ------------------------------------------------------------------
+    # scoring internals
+    # ------------------------------------------------------------------
+    def _score_window(self, window: np.ndarray) -> tuple[float, float, list[str]]:
+        """Score with primary-or-fallback; returns (score, threshold, flags)."""
+        policy = self.policy
+        flags: list[str] = []
+        use_primary = not self._degraded
+        if self._degraded and policy is not None:
+            # Periodically probe whether the primary has recovered.
+            self._updates_since_degraded += 1
+            if self._updates_since_degraded % policy.recovery_every == 0:
+                use_primary = True
+        if use_primary:
+            try:
+                score = float(self.detector.score(window)[-1])
+                if math.isfinite(score):
+                    if self._degraded:
+                        flags.append("recovered")
+                    self._degraded = False
+                    self._updates_since_degraded = 0
+                    return score, float(self.detector.threshold_), flags
+                flags.append("nonfinite_score")
+            except Exception:
+                if policy is None:
+                    raise
+                flags.append("primary_error")
+            if policy is None:
+                # Non-finite score with no policy: fail loudly rather than
+                # silently mis-ranking alerts.
+                raise ValueError(
+                    f"{self.detector.name}.score returned a non-finite value for "
+                    "the current window; enable a FaultPolicy to degrade "
+                    "gracefully"
+                )
+            if not self._degraded:
+                self._degraded = True
+                self._updates_since_degraded = 0
+        if policy is not None and policy.fallback is not None:
+            flags.append("fallback")
+            score = float(policy.fallback.score(window)[-1])
+            return score, float(policy.fallback.threshold_), flags
+        return float("nan"), float("inf"), flags
+
     def update(self, observation: np.ndarray) -> StreamEvent:
         """Ingest one observation and return its scored event."""
         observation = np.asarray(observation, dtype=np.float64).reshape(-1)
-        self._buffer.append(observation)
         index = self._count
         self._count += 1
+        flags: list[str] = []
+
+        # Dimensionality contract: fixed by the first accepted observation.
+        if self._dimension is not None and observation.size != self._dimension:
+            if self.policy is None:
+                raise ValueError(
+                    f"observation {index} has {observation.size} features but the "
+                    f"stream was established with {self._dimension}; a ragged "
+                    "buffer cannot be scored"
+                )
+            return StreamEvent(index=index, score=float("nan"), is_anomaly=False,
+                               flags=("dim_mismatch",))
+
+        if self.policy is not None:
+            stacked = np.stack(self._buffer) if self._buffer else None
+            repaired, repair_flags = sanitize_observation(observation, stacked, self.policy)
+            flags.extend(repair_flags)
+            if repaired is None:
+                return StreamEvent(index=index, score=float("nan"), is_anomaly=False,
+                                   flags=tuple(flags))
+            observation = repaired
+        elif not np.all(np.isfinite(observation)):
+            raise ValueError(
+                f"observation {index} contains NaN/Inf values; impute upstream "
+                "or pass a FaultPolicy to degrade gracefully"
+            )
+
+        if self._dimension is None:
+            self._dimension = observation.size
+        self._buffer.append(observation)
+
         if self._count < self.warmup:
-            return StreamEvent(index=index, score=0.0, is_anomaly=False)
+            return StreamEvent(index=index, score=float("nan"), is_anomaly=False,
+                               flags=tuple(flags) + ("warmup",))
         window = np.stack(self._buffer)
-        # Score the buffered context; the last position is the new point.
-        score = float(self.detector.score(window)[-1])
+        score, threshold, score_flags = self._score_window(window)
+        flags.extend(score_flags)
         return StreamEvent(
             index=index,
             score=score,
-            is_anomaly=bool(score >= self.detector.threshold_),
+            is_anomaly=bool(math.isfinite(score) and score >= threshold),
+            flags=tuple(flags),
         )
 
     def update_many(self, observations: np.ndarray) -> list[StreamEvent]:

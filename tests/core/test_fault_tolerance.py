@@ -1,0 +1,189 @@
+"""Fault-tolerant training: checkpoint/resume and divergence guards."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TFMAEConfig
+from repro.core.model import TFMAEModel
+from repro.core.trainer import TFMAETrainer
+from repro.nn.serialization import CheckpointError
+from repro.robustness import CheckpointManager, TrainingDivergedError
+
+
+def _series(length: int = 400) -> np.ndarray:
+    rng = np.random.default_rng(0)
+    t = np.arange(length)
+    return np.sin(2 * np.pi * t / 25.0)[:, None] + rng.normal(0, 0.05, (length, 1))
+
+
+def _config(**overrides) -> TFMAEConfig:
+    base = dict(window_size=50, d_model=16, num_layers=1, num_heads=2,
+                batch_size=4, epochs=4, learning_rate=1e-3)
+    base.update(overrides)
+    return TFMAEConfig(**base)
+
+
+def _train(config: TFMAEConfig, series: np.ndarray, validation=None) -> tuple[TFMAEModel, TFMAETrainer]:
+    model = TFMAEModel(1, config)
+    trainer = TFMAETrainer(model, config)
+    trainer.fit(series, validation=validation)
+    return model, trainer
+
+
+def _states_equal(a: dict, b: dict) -> bool:
+    return set(a) == set(b) and all(np.array_equal(a[k], b[k]) for k in a)
+
+
+class TestCheckpointResume:
+    def test_resume_is_bitwise_identical(self, tmp_path):
+        """Interrupt after 2 of 4 epochs, resume, and land on exactly the
+        weights of an uninterrupted 4-epoch run (RNG/optimizer/counters all
+        restored)."""
+        series = _series()
+        reference, _ = _train(_config(select_best_epoch=True), series,
+                              validation=series[:150])
+
+        part1 = _config(select_best_epoch=True, epochs=2, checkpoint_dir=str(tmp_path))
+        _train(part1, series, validation=series[:150])
+
+        part2 = _config(select_best_epoch=True, epochs=4,
+                        checkpoint_dir=str(tmp_path), resume=True)
+        model = TFMAEModel(1, part2)
+        trainer = TFMAETrainer(model, part2)
+        log = trainer.fit(series, validation=series[:150])
+
+        assert log.resumed
+        assert _states_equal(reference.state_dict(), model.state_dict())
+
+    def test_kill_mid_epoch_resumes_from_last_checkpoint(self, tmp_path):
+        """A crash mid-epoch leaves the last epoch-boundary checkpoint
+        intact; resuming from it reproduces the uninterrupted run."""
+        series = _series()
+        reference, _ = _train(_config(), series)
+
+        config = _config(checkpoint_dir=str(tmp_path))
+        model = TFMAEModel(1, config)
+        trainer = TFMAETrainer(model, config)
+        original_loss = model.loss
+        calls = {"n": 0}
+
+        def crashing_loss(batch):
+            calls["n"] += 1
+            if calls["n"] == 5:  # partway into the second epoch
+                raise KeyboardInterrupt("simulated SIGINT")
+            return original_loss(batch)
+
+        model.loss = crashing_loss
+        with pytest.raises(KeyboardInterrupt):
+            trainer.fit(series)
+
+        resumed_config = _config(checkpoint_dir=str(tmp_path), resume=True)
+        resumed_model = TFMAEModel(1, resumed_config)
+        resumed_trainer = TFMAETrainer(resumed_model, resumed_config)
+        log = resumed_trainer.fit(series)
+
+        assert log.resumed
+        assert _states_equal(reference.state_dict(), resumed_model.state_dict())
+
+    def test_resume_without_checkpoint_starts_fresh(self, tmp_path):
+        config = _config(checkpoint_dir=str(tmp_path / "empty"), resume=True)
+        model = TFMAEModel(1, config)
+        log = TFMAETrainer(model, config).fit(_series())
+        assert not log.resumed
+        assert log.summary()["batches"] > 0
+
+    def test_resume_rejects_config_mismatch(self, tmp_path):
+        series = _series()
+        _train(_config(epochs=1, checkpoint_dir=str(tmp_path)), series)
+        changed = _config(epochs=2, learning_rate=5e-3,
+                          checkpoint_dir=str(tmp_path), resume=True)
+        model = TFMAEModel(1, changed)
+        with pytest.raises(CheckpointError, match="learning_rate"):
+            TFMAETrainer(model, changed).fit(series)
+
+    def test_checkpoint_metadata_records_probe_auc(self, tmp_path):
+        series = _series()
+        config = _config(epochs=2, select_best_epoch=True, checkpoint_dir=str(tmp_path))
+        _train(config, series, validation=series[:150])
+        manager = CheckpointManager(tmp_path)
+        probe_model = TFMAEModel(1, config)
+        metadata, extra = manager.load(probe_model)
+        assert metadata["epoch"] == 2
+        assert metadata["best_probe_auc"] is not None
+        assert any(name.startswith("best.") for name in extra)
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        _train(_config(epochs=2, checkpoint_dir=str(tmp_path)), _series())
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+        assert (tmp_path / CheckpointManager.DEFAULT_FILENAME).exists()
+
+
+class TestDivergenceGuard:
+    def test_transient_nan_rolls_back_with_lr_backoff(self):
+        series = _series(300)
+        config = _config(epochs=3, max_divergence_retries=2)
+        model = TFMAEModel(1, config)
+        trainer = TFMAETrainer(model, config)
+        original_loss = model.loss
+        calls = {"n": 0}
+
+        def flaky_loss(batch):
+            calls["n"] += 1
+            loss, metrics = original_loss(batch)
+            if calls["n"] == 3:
+                loss.data = np.asarray(np.nan)
+                metrics = dict(metrics, minimise=float("nan"))
+            return loss, metrics
+
+        model.loss = flaky_loss
+        log = trainer.fit(series)
+
+        assert log.rollbacks and log.rollbacks[0][1] == "non_finite_loss"
+        assert trainer.optimizer.lr == pytest.approx(config.learning_rate * config.lr_backoff)
+        assert all(np.all(np.isfinite(v)) for v in model.state_dict().values())
+        # The poisoned batch never entered the loss trace.
+        assert all(np.isfinite(log.losses))
+
+    def test_persistent_divergence_raises(self):
+        series = _series(300)
+        config = _config(epochs=2, max_divergence_retries=1)
+        model = TFMAEModel(1, config)
+        trainer = TFMAETrainer(model, config)
+        original_loss = model.loss
+
+        def poisoned_loss(batch):
+            loss, metrics = original_loss(batch)
+            loss.data = np.asarray(np.nan)
+            return loss, metrics
+
+        model.loss = poisoned_loss
+        with pytest.raises(TrainingDivergedError, match="non_finite_loss"):
+            trainer.fit(series)
+
+    def test_zero_retries_fails_fast(self):
+        series = _series(300)
+        config = _config(epochs=1, max_divergence_retries=0)
+        model = TFMAEModel(1, config)
+        trainer = TFMAETrainer(model, config)
+        original_loss = model.loss
+
+        def poisoned_loss(batch):
+            loss, metrics = original_loss(batch)
+            loss.data = np.asarray(np.inf)
+            return loss, metrics
+
+        model.loss = poisoned_loss
+        with pytest.raises(TrainingDivergedError):
+            trainer.fit(series)
+
+    def test_clean_run_has_no_rollbacks(self):
+        series = _series(300)
+        config = _config(epochs=2)
+        model = TFMAEModel(1, config)
+        trainer = TFMAETrainer(model, config)
+        log = trainer.fit(series)
+        assert log.rollbacks == []
+        assert trainer.optimizer.lr == config.learning_rate

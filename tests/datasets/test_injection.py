@@ -112,3 +112,48 @@ class TestPatternInjectors:
         inject_seasonal(channel, [(40, 80)], rng)
         inject_trend(channel, [(90, 120)], rng)
         np.testing.assert_array_equal(channel, original)
+
+
+class TestStreamFaults:
+    """The telemetry-corruption taxonomy used by the robustness bench."""
+
+    def test_registry_covers_the_taxonomy(self):
+        from repro.datasets import STREAM_FAULTS
+
+        assert set(STREAM_FAULTS) == {
+            "nan_burst", "stuck_at", "dropout_gap", "spike_corruption", "scale_drift",
+        }
+
+    @pytest.mark.parametrize("fault", ["nan_burst", "stuck_at", "dropout_gap",
+                                       "spike_corruption", "scale_drift"])
+    def test_mask_marks_exactly_the_corruption(self, rng, fault):
+        from repro.datasets import inject_stream_fault
+
+        series = rng.normal(size=(300, 4))
+        corrupted, mask = inject_stream_fault(series, fault, rng, channel_fraction=1.0)
+        assert corrupted.shape == series.shape
+        assert mask.shape == (300,)
+        assert mask.sum() > 0
+        # Unmasked rows are untouched.
+        np.testing.assert_array_equal(corrupted[mask == 0], series[mask == 0])
+        # Masked rows differ somewhere (stuck_at may coincide rarely, so
+        # require at least one changed row rather than all).
+        changed = ~np.all(np.isclose(corrupted[mask == 1], series[mask == 1],
+                                     equal_nan=False), axis=1)
+        assert changed.any()
+
+    def test_nan_burst_produces_nans_others_stay_finite(self, rng):
+        from repro.datasets import inject_stream_fault
+
+        series = rng.normal(size=(200, 3))
+        corrupted, mask = inject_stream_fault(series, "nan_burst", rng)
+        assert np.isnan(corrupted).any()
+        for fault in ["stuck_at", "dropout_gap", "spike_corruption", "scale_drift"]:
+            other, _ = inject_stream_fault(series, fault, rng)
+            assert np.all(np.isfinite(other))
+
+    def test_unknown_fault_rejected(self, rng):
+        from repro.datasets import inject_stream_fault
+
+        with pytest.raises(ValueError, match="unknown stream fault"):
+            inject_stream_fault(rng.normal(size=(50, 2)), "cosmic_rays", rng)

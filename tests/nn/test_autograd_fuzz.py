@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.nn import Tensor
@@ -76,6 +76,11 @@ def test_random_graph_gradients(seed, rows, cols, program):
 
     x = Tensor(x0.copy(), requires_grad=True)
     output = _build_graph(x, program)
+    # Repeated self-multiplication can push values to 1e10 and beyond,
+    # where central differences with eps=1e-6 lose every significant
+    # digit; restrict the property to graphs finite differences can check.
+    assume(np.all(np.isfinite(output.data)))
+    assume(float(np.max(np.abs(output.data))) < 1e2)
     (output * output).mean().backward()
     assert x.grad is not None
 

@@ -3,8 +3,20 @@
 from __future__ import annotations
 
 import numpy as np
+import pytest
 
-from repro.nn import Linear, Module, Sequential, Tensor, load_model, save_model
+from repro.nn import (
+    Adam,
+    CheckpointError,
+    Linear,
+    Module,
+    Sequential,
+    Tensor,
+    load_model,
+    load_training_state,
+    save_model,
+    save_training_state,
+)
 
 
 def _make_model(seed: int) -> Module:
@@ -33,3 +45,80 @@ class TestSerialization:
         np.testing.assert_array_equal(
             source.state_dict()["layer0.weight"], target.state_dict()["layer0.weight"]
         )
+
+    def test_missing_file_raises_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            load_model(_make_model(0), tmp_path / "absent.npz")
+
+    def test_architecture_mismatch_names_offending_keys(self, tmp_path):
+        rng = np.random.default_rng(0)
+        source = Sequential(Linear(3, 8, rng), Linear(8, 2, rng))
+        path = tmp_path / "model.npz"
+        save_model(source, path)
+        # One layer fewer: the checkpoint has unexpected layer1.* keys.
+        target = Sequential(Linear(3, 8, rng))
+        with pytest.raises(CheckpointError) as excinfo:
+            load_model(target, path)
+        assert "unexpected keys" in str(excinfo.value)
+        assert "layer1.weight" in str(excinfo.value)
+
+    def test_shape_mismatch_names_both_shapes(self, tmp_path):
+        rng = np.random.default_rng(0)
+        source = Sequential(Linear(3, 8, rng), Linear(8, 2, rng))
+        path = tmp_path / "model.npz"
+        save_model(source, path)
+        target = Sequential(Linear(3, 4, rng), Linear(4, 2, rng))
+        with pytest.raises(CheckpointError) as excinfo:
+            load_model(target, path)
+        message = str(excinfo.value)
+        assert "shape mismatch" in message and "layer0.weight" in message
+        # The target model was not partially mutated by the failed load.
+        assert target.state_dict()["layer0.weight"].shape == (3, 4)
+
+    def test_atomic_overwrite_leaves_no_temp_files(self, tmp_path):
+        model = _make_model(0)
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        save_model(model, path)  # overwrite via the same atomic path
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["model.npz"]
+
+
+class TestTrainingState:
+    def test_roundtrip_restores_optimizer_and_metadata(self, tmp_path, rng):
+        model = _make_model(0)
+        optimizer = Adam(model.parameters(), lr=3e-3)
+        # Take a couple of steps so the moment buffers are non-trivial.
+        for _ in range(3):
+            loss = (model(Tensor(rng.normal(size=(4, 3)))) ** 2).mean()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        metadata = {"epoch": 7, "note": "mid-run"}
+        path = save_training_state(tmp_path / "state", model, optimizer, metadata)
+
+        restored_model = _make_model(1)
+        restored_optimizer = Adam(restored_model.parameters(), lr=1e-4)
+        loaded_meta, extra = load_training_state(path, restored_model, restored_optimizer)
+
+        assert loaded_meta == metadata
+        assert extra == {}
+        assert restored_optimizer._step == optimizer._step
+        assert restored_optimizer.lr == optimizer.lr
+        for a, b in zip(optimizer._m, restored_optimizer._m):
+            np.testing.assert_array_equal(a, b)
+        x = Tensor(rng.normal(size=(4, 3)))
+        np.testing.assert_array_equal(model(x).data, restored_model(x).data)
+
+    def test_bare_model_archive_is_rejected(self, tmp_path):
+        model = _make_model(0)
+        save_model(model, tmp_path / "bare.npz")
+        with pytest.raises(CheckpointError, match="metadata"):
+            load_training_state(tmp_path / "bare.npz", _make_model(1))
+
+    def test_extra_arrays_roundtrip(self, tmp_path):
+        model = _make_model(0)
+        best = {f"best.{k}": v for k, v in model.state_dict().items()}
+        path = save_training_state(tmp_path / "state", model, None, {"epoch": 1},
+                                   extra_arrays=best)
+        _, extra = load_training_state(path, _make_model(1))
+        assert set(extra) == set(best)

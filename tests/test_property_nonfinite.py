@@ -1,0 +1,111 @@
+"""Property tests: every detector is explicit about non-finite inputs.
+
+Three contracts, checked for TFMAE and every registered baseline at tiny
+sizes:
+
+1. ``fit`` on data containing NaN/Inf raises a clear :class:`ValueError`
+   (never trains on garbage);
+2. ``score`` on data containing NaN/Inf either handles it or raises a
+   clear :class:`ValueError` (never an opaque numpy error deep inside the
+   model);
+3. ``score`` on finite input returns finite values (the threshold
+   protocol breaks down silently otherwise).
+
+Detectors are fitted once per method (module-scoped cache) and hypothesis
+drives the scoring inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import BASELINE_REGISTRY
+from repro.core import TFMAE, TFMAEConfig
+
+WINDOW = 20  # divisible by DCdetector's default patch size
+FEATURES = 2
+TRAIN_LEN = 6 * WINDOW
+METHODS = ["TFMAE"] + sorted(BASELINE_REGISTRY)
+
+_SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+def _build(method: str):
+    if method == "TFMAE":
+        return TFMAE(TFMAEConfig(
+            window_size=WINDOW, d_model=8, num_layers=1, num_heads=2,
+            batch_size=4, epochs=1, anomaly_ratio=5.0,
+        ))
+    ctor = BASELINE_REGISTRY[method]
+    if method in ("LOF", "IForest"):
+        return ctor(anomaly_ratio=5.0, seed=0)
+    return ctor(window_size=WINDOW, epochs=1, batch_size=4, anomaly_ratio=5.0, seed=0)
+
+
+def _train_series() -> np.ndarray:
+    rng = np.random.default_rng(0)
+    t = np.arange(TRAIN_LEN)
+    base = np.sin(2 * np.pi * t / 8.0)[:, None]
+    return np.repeat(base, FEATURES, axis=1) + rng.normal(0, 0.1, (TRAIN_LEN, FEATURES))
+
+
+@pytest.fixture(scope="module")
+def fitted_detectors():
+    """One fitted instance per method, shared across the module."""
+    series = _train_series()
+    cache = {}
+    for method in METHODS:
+        detector = _build(method)
+        detector.fit(series, series[: 3 * WINDOW])
+        cache[method] = detector
+    return cache
+
+
+_bad_value = st.sampled_from([np.nan, np.inf, -np.inf])
+
+
+@pytest.mark.parametrize("method", METHODS)
+@given(position=st.integers(0, TRAIN_LEN - 1), feature=st.integers(0, FEATURES - 1),
+       value=_bad_value)
+@_SETTINGS
+def test_fit_rejects_nonfinite(method, position, feature, value):
+    series = _train_series()
+    series[position, feature] = value
+    detector = _build(method)
+    with pytest.raises(ValueError):
+        detector.fit(series)
+
+
+@pytest.mark.parametrize("method", METHODS)
+@given(position=st.integers(0, 2 * WINDOW - 1), feature=st.integers(0, FEATURES - 1),
+       value=_bad_value)
+@_SETTINGS
+def test_score_handles_or_rejects_nonfinite(fitted_detectors, method, position,
+                                            feature, value):
+    series = _train_series()[: 2 * WINDOW]
+    series[position, feature] = value
+    detector = fitted_detectors[method]
+    try:
+        scores = detector.score(series)
+    except ValueError as error:
+        assert "NaN" in str(error) or "Inf" in str(error)
+    else:
+        assert np.all(np.isfinite(scores)), f"{method} silently emitted non-finite scores"
+
+
+@pytest.mark.parametrize("method", METHODS)
+@given(seed=st.integers(0, 1000), scale=st.floats(0.01, 10.0))
+@_SETTINGS
+def test_score_finite_on_finite_input(fitted_detectors, method, seed, scale):
+    rng = np.random.default_rng(seed)
+    series = rng.normal(0, scale, size=(2 * WINDOW, FEATURES))
+    scores = fitted_detectors[method].score(series)
+    assert scores.shape == (2 * WINDOW,)
+    assert np.all(np.isfinite(scores)), f"{method} produced non-finite scores"

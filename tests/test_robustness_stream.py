@@ -1,0 +1,156 @@
+"""Graceful streaming degradation under a FaultPolicy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detector import BaseDetector
+from repro.robustness import FaultPolicy
+from repro.streaming import StreamingDetector
+
+
+class _AbsDetector(BaseDetector):
+    """Score is |value| of the first feature; optionally fails on demand."""
+
+    name = "abs"
+
+    def __init__(self, anomaly_ratio: float = 5.0):
+        super().__init__(anomaly_ratio=anomaly_ratio)
+        self.fail = False
+
+    def _fit(self, train: np.ndarray) -> None:
+        pass
+
+    def score(self, series: np.ndarray) -> np.ndarray:
+        if self.fail:
+            raise RuntimeError("primary detector is down")
+        return np.abs(series[:, 0])
+
+
+def _fitted(rng, cls=_AbsDetector) -> BaseDetector:
+    detector = cls()
+    detector.fit(rng.normal(size=(100, 1)), rng.normal(size=(500, 1)))
+    return detector
+
+
+class TestWithoutPolicy:
+    def test_nan_observation_raises_clearly(self, rng):
+        stream = StreamingDetector(_fitted(rng), context=5, warmup=0)
+        stream.update(np.array([0.5]))
+        with pytest.raises(ValueError, match="NaN/Inf"):
+            stream.update(np.array([np.nan]))
+
+    def test_dim_mismatch_raises_clearly(self, rng):
+        stream = StreamingDetector(_fitted(rng), context=5, warmup=0)
+        stream.update(np.array([0.5]))
+        with pytest.raises(ValueError, match="features"):
+            stream.update(np.array([0.5, 0.7]))
+
+
+class TestFaultPolicy:
+    def test_invalid_options(self, rng):
+        with pytest.raises(ValueError):
+            FaultPolicy(clamp_sigma=0.0)
+        with pytest.raises(ValueError):
+            FaultPolicy(recovery_every=0)
+        uncalibrated = _AbsDetector()
+        uncalibrated.fit(rng.normal(size=(50, 1)))
+        with pytest.raises(ValueError, match="calibrated"):
+            FaultPolicy(fallback=uncalibrated)
+
+    def test_nan_is_imputed_from_buffer(self, rng):
+        stream = StreamingDetector(_fitted(rng), context=5, warmup=0,
+                                   policy=FaultPolicy())
+        for value in [1.0, 1.2, 0.8, 1.1]:
+            stream.update(np.array([value]))
+        event = stream.update(np.array([np.nan]))
+        assert "imputed" in event.flags
+        assert event.degraded
+        # Imputed from the buffer median, so the score is in-distribution.
+        assert np.isfinite(event.score)
+        assert 0.8 <= event.score <= 1.2
+
+    def test_rejected_when_imputation_disabled(self, rng):
+        stream = StreamingDetector(_fitted(rng), context=5, warmup=0,
+                                   policy=FaultPolicy(impute_nonfinite=False))
+        stream.update(np.array([1.0]))
+        event = stream.update(np.array([np.inf]))
+        assert event.flags == ("rejected_nonfinite",)
+        assert np.isnan(event.score) and not event.is_anomaly
+        # Rejected observations never enter the scoring buffer.
+        assert len(stream._buffer) == 1
+        assert stream.observations_seen == 2
+
+    def test_dim_mismatch_becomes_flagged_event(self, rng):
+        stream = StreamingDetector(_fitted(rng), context=5, warmup=0,
+                                   policy=FaultPolicy())
+        stream.update(np.array([1.0]))
+        event = stream.update(np.array([1.0, 2.0]))
+        assert event.flags == ("dim_mismatch",)
+        assert np.isnan(event.score)
+        # The stream keeps working with well-formed observations.
+        follow_up = stream.update(np.array([0.9]))
+        assert np.isfinite(follow_up.score)
+
+    def test_clamping_defuses_corrupt_spikes(self, rng):
+        policy = FaultPolicy(clamp_sigma=10.0)
+        stream = StreamingDetector(_fitted(rng), context=10, warmup=0, policy=policy)
+        for _ in range(10):
+            stream.update(rng.normal(size=1))
+        event = stream.update(np.array([1e9]))
+        assert "clamped" in event.flags
+        assert np.isfinite(event.score)
+        assert event.score < 1e6
+
+    def test_fallback_takes_over_and_recovers(self, rng):
+        primary = _fitted(rng)
+        fallback = _fitted(rng)
+        policy = FaultPolicy(fallback=fallback, recovery_every=3)
+        stream = StreamingDetector(primary, context=5, warmup=0, policy=policy)
+
+        healthy = stream.update(np.array([0.5]))
+        assert healthy.flags == ()
+
+        primary.fail = True
+        degraded = stream.update(np.array([0.5]))
+        assert "primary_error" in degraded.flags
+        assert "fallback" in degraded.flags
+        assert np.isfinite(degraded.score)
+        assert stream.degraded
+
+        # While degraded, updates keep flowing through the fallback.
+        for _ in range(2):
+            event = stream.update(np.array([0.4]))
+            assert "fallback" in event.flags
+
+        # Heal the primary; the next recovery probe flips back.
+        primary.fail = False
+        flags = []
+        for _ in range(policy.recovery_every + 1):
+            flags.append(stream.update(np.array([0.4])).flags)
+        assert any("recovered" in f for f in flags)
+        assert not stream.degraded
+
+    def test_degraded_without_fallback_emits_nan_events(self, rng):
+        primary = _fitted(rng)
+        stream = StreamingDetector(primary, context=5, warmup=0, policy=FaultPolicy())
+        primary.fail = True
+        event = stream.update(np.array([0.5]))
+        assert "primary_error" in event.flags
+        assert np.isnan(event.score) and not event.is_anomaly
+
+    def test_full_stream_with_faults_never_raises(self, rng):
+        """End to end: a stream riddled with every malformation still yields
+        one event per observation."""
+        fallback = _fitted(rng)
+        policy = FaultPolicy(clamp_sigma=20.0, fallback=fallback)
+        stream = StreamingDetector(_fitted(rng), context=10, warmup=5, policy=policy)
+        observations = rng.normal(size=(60, 1))
+        observations[10] = np.nan
+        observations[20] = np.inf
+        observations[30] = 1e12
+        events = stream.update_many(observations)
+        assert len(events) == 60
+        scored = [e for e in events if np.isfinite(e.score)]
+        assert len(scored) >= 50
