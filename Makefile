@@ -1,6 +1,6 @@
 # Convenience targets for the TFMAE reproduction.
 
-.PHONY: install test bench bench-tables bench-figures robustness examples clean
+.PHONY: install test bench bench-tables bench-figures robustness serve serve-bench examples clean
 
 install:
 	python setup.py develop
@@ -30,6 +30,13 @@ robustness:
 	       tests/test_robustness_stream.py tests/test_property_nonfinite.py -q
 	PYTHONPATH=src REPRO_BENCH_STREAM=300 REPRO_BENCH_EPOCHS=4 \
 	       pytest benchmarks/bench_robustness_faults.py --benchmark-only -s
+
+serve:
+	PYTHONPATH=src python -m repro serve --demo
+
+serve-bench:
+	PYTHONPATH=src pytest tests/serve/ -q
+	PYTHONPATH=src pytest benchmarks/bench_serving_throughput.py --benchmark-only -s
 
 examples:
 	for f in examples/*.py; do echo "=== $$f ==="; python $$f; done

@@ -1,0 +1,137 @@
+"""Serving throughput: micro-batching vs per-request scoring.
+
+Not a paper table: this bench measures the ``repro.serve`` subsystem.  A
+small TFMAE is fitted once, then concurrent client threads push rolling
+windows through a :class:`~repro.serve.MicroBatcher` configured with
+``max_batch_size`` in {1, 8, 32}.  Batch size 1 *is* per-request scoring
+(every window takes its own forward pass), so the speedup of the larger
+rows is exactly what coalescing buys — same detector, same worker pool,
+same request stream.
+
+Client-side latency lands in a :class:`repro.serve.metrics.Histogram`
+(the same observability core the ``/metrics`` endpoint reads), and the
+achieved coalescing is reported from the batcher's own
+``serve_batch_size`` histogram.
+
+Expected shape: throughput rises with the batch-size budget (vectorized
+``score_windows`` amortises Python and BLAS dispatch), while p50 latency
+stays within the same order of magnitude — the max-delay flush bounds
+how long a lone request can be held back.
+
+Environment: ``REPRO_BENCH_EPOCHS`` (default 8) for training;
+``REPRO_BENCH_SERVE_REQUESTS`` (default 320) total requests per row.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro import TFMAE, TFMAEConfig
+from repro.serve import MicroBatcher
+from repro.serve.metrics import Histogram
+from repro.datasets import get_dataset
+
+from _common import EPOCHS, SEED, save_result
+
+DATASET = "NIPS-TS-Global"
+WINDOW = 100
+BATCH_SIZES = (1, 8, 32)
+CLIENTS = 8
+REQUESTS = int(os.environ.get("REPRO_BENCH_SERVE_REQUESTS", "320"))
+MAX_DELAY = 0.002
+WORKERS = 2
+
+
+def _fit_detector() -> tuple[TFMAE, np.ndarray]:
+    dataset = get_dataset(DATASET, seed=SEED, scale=0.02).normalised()
+    config = TFMAEConfig(window_size=WINDOW, d_model=32, num_layers=2, num_heads=4,
+                         anomaly_ratio=2.5, epochs=EPOCHS, batch_size=16,
+                         learning_rate=1e-3, seed=SEED)
+    detector = TFMAE(config)
+    detector.fit(dataset.train, dataset.validation)
+    return detector, dataset.test
+
+
+def _run_config(detector: TFMAE, test: np.ndarray, max_batch_size: int) -> dict:
+    windows = [test[i : i + WINDOW] for i in range(0, REQUESTS)]
+    latency = Histogram(capacity=REQUESTS)
+    errors: list[BaseException] = []
+
+    with MicroBatcher(detector_for=lambda key: detector,
+                      max_batch_size=max_batch_size, max_delay=MAX_DELAY,
+                      max_queue=REQUESTS + CLIENTS, workers=WORKERS) as batcher:
+
+        def client(offsets: range) -> None:
+            for offset in offsets:
+                started = time.perf_counter()
+                try:
+                    batcher.score("bench", windows[offset], timeout=120)
+                except BaseException as error:  # pragma: no cover - bench guard
+                    errors.append(error)
+                    return
+                latency.observe(time.perf_counter() - started)
+
+        threads = [
+            threading.Thread(target=client, args=(range(i, REQUESTS, CLIENTS),))
+            for i in range(CLIENTS)
+        ]
+        begin = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - begin
+        batch_summary = batcher.metrics.histogram("serve_batch_size").summary()
+
+    if errors:
+        raise errors[0]
+    summary = latency.summary()
+    return {
+        "batch": max_batch_size,
+        "rps": REQUESTS / elapsed,
+        "p50": summary["p50"] * 1e3,
+        "p95": summary["p95"] * 1e3,
+        "p99": summary["p99"] * 1e3,
+        "mean_batch": batch_summary["mean"],
+    }
+
+
+def run_serving_bench() -> tuple[str, dict[int, float]]:
+    detector, test = _fit_detector()
+    # Warm caches (positional encodings, BLAS threads) outside the clock.
+    detector.score_last(np.stack([test[:WINDOW]]))
+
+    header = (f"{'max_batch':>9} {'throughput':>12} {'p50 ms':>8} {'p95 ms':>8} "
+              f"{'p99 ms':>8} {'mean batch':>11}")
+    lines = [
+        f"Serving throughput ({DATASET} profile, {REQUESTS} requests, "
+        f"{CLIENTS} concurrent clients, {WORKERS} workers, "
+        f"max_delay={MAX_DELAY * 1e3:g}ms)",
+        header,
+        "-" * len(header),
+    ]
+    throughput: dict[int, float] = {}
+    for batch_size in BATCH_SIZES:
+        row = _run_config(detector, test, batch_size)
+        throughput[batch_size] = row["rps"]
+        lines.append(
+            f"{row['batch']:>9d} {row['rps']:>8.0f} r/s {row['p50']:>8.2f} "
+            f"{row['p95']:>8.2f} {row['p99']:>8.2f} {row['mean_batch']:>11.1f}"
+        )
+    best = max(BATCH_SIZES, key=lambda size: throughput[size])
+    lines.append(
+        f"micro-batching speedup vs per-request: "
+        f"{throughput[best] / throughput[1]:.1f}x (best at max_batch={best})"
+    )
+    return "\n".join(lines), throughput
+
+
+def test_serving_throughput(benchmark):
+    table, throughput = benchmark.pedantic(run_serving_bench, rounds=1, iterations=1)
+    save_result("serving_throughput", table)
+    # The acceptance criterion: coalescing must beat per-request scoring.
+    assert max(throughput[8], throughput[32]) > throughput[1]

@@ -25,6 +25,9 @@ Subpackages
 ``repro.robustness``
     Fault tolerance: checkpoint/resume, divergence guards, and graceful
     streaming degradation under corrupted telemetry.
+``repro.serve``
+    Micro-batched inference serving: model registry, batching scheduler
+    with backpressure, JSON-over-HTTP front end, and metrics.
 """
 
 from .core import TFMAE, TFMAEConfig, preset_for

@@ -11,6 +11,12 @@ Commands
     protocol, e.g.::
 
         python -m repro run --method TFMAE --dataset SMD --scale 0.01 --epochs 6
+``serve``
+    Host a model registry behind the micro-batched JSON-over-HTTP
+    inference server (see docs/serving.md), e.g.::
+
+        python -m repro serve --registry ./model-registry --port 8080
+        python -m repro serve --demo          # fit + publish + serve a demo model
 """
 
 from __future__ import annotations
@@ -63,6 +69,25 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--resume", action="store_true",
                      help="TFMAE only: resume training from --checkpoint-dir "
                           "when a compatible checkpoint exists")
+
+    serve = sub.add_parser("serve", help="serve registered models over HTTP")
+    serve.add_argument("--registry", default="./model-registry",
+                       help="model registry directory (default ./model-registry)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="listen port; 0 binds an ephemeral port")
+    serve.add_argument("--max-batch-size", type=int, default=32,
+                       help="most windows coalesced into one forward pass")
+    serve.add_argument("--max-delay-ms", type=float, default=2.0,
+                       help="longest a request waits for its batch to fill")
+    serve.add_argument("--queue-size", type=int, default=256,
+                       help="bounded request queue; beyond it requests are "
+                            "shed with HTTP 429")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="scoring worker threads")
+    serve.add_argument("--demo", action="store_true",
+                       help="fit a small TFMAE on synthetic data, publish it "
+                            "as 'demo', then serve (no registry required)")
     return parser
 
 
@@ -90,6 +115,37 @@ def _build_detector(args: argparse.Namespace):
                 anomaly_ratio=ratio, seed=args.seed)
 
 
+def _build_server(args: argparse.Namespace):
+    """Construct (but do not start) the inference server for ``serve``."""
+    from .serve import InferenceServer, ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+    if args.demo:
+        print("fitting demo TFMAE on a small NIPS-TS-Global realisation...")
+        dataset = get_dataset("NIPS-TS-Global", seed=0, scale=0.02).normalised()
+        config = TFMAEConfig(window_size=100, d_model=32, num_layers=2, num_heads=4,
+                             anomaly_ratio=2.5, epochs=3, batch_size=16,
+                             learning_rate=1e-3)
+        detector = TFMAE(config)
+        detector.fit(dataset.train, dataset.validation)
+        version = registry.publish("demo", detector)
+        print(f"published demo:{version} to {args.registry}")
+    elif not registry.models():
+        raise SystemExit(
+            f"registry {args.registry} has no models; publish one with "
+            "repro.serve.ModelRegistry.publish() or pass --demo"
+        )
+    return InferenceServer(
+        registry,
+        host=args.host,
+        port=args.port,
+        max_batch_size=args.max_batch_size,
+        max_delay=args.max_delay_ms / 1000.0,
+        max_queue=args.queue_size,
+        workers=args.workers,
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -106,6 +162,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list-methods":
         for name in sorted(_CATEGORIES):
             print(f"{name:<12} {_CATEGORIES[name]}")
+        return 0
+
+    if args.command == "serve":
+        _build_server(args).serve_forever()
         return 0
 
     # run

@@ -67,3 +67,39 @@ class TFMAE(BaseDetector):
             score_fn=self.model.score_windows,
             batch_size=self.config.batch_size,
         )
+
+    def score_last(self, windows: np.ndarray) -> np.ndarray:
+        """Vectorized last-observation scores for a batch of windows.
+
+        One ``score_windows`` forward pass per ``config.batch_size``
+        chunk instead of one full :meth:`score` per window.  Bitwise
+        identical to ``[score(w)[-1] for w in windows]``: for each window
+        the last observation's score always comes from the
+        ``window_size``-length slice ending at that observation (the tail
+        slice when the window is long enough, the front-padded window
+        :func:`~repro.datasets.windows.score_series` builds otherwise),
+        and ``score_windows`` is batch-size invariant because every
+        window flows through the model independently.
+        """
+        self._require_fitted()
+        assert self.model is not None
+        windows = np.asarray(windows, dtype=np.float64)
+        if windows.ndim == 2:
+            windows = windows[None]
+        if windows.ndim != 3:
+            raise ValueError(
+                f"windows must be (batch, time, features), got shape {windows.shape}"
+            )
+        windows = check_finite_series(windows, name="TFMAE scoring input")
+        size = self.config.window_size
+        time = windows.shape[1]
+        if time >= size:
+            tails = windows[:, time - size:, :]
+        else:
+            pad = np.repeat(windows[:, :1, :], size - time, axis=1)
+            tails = np.concatenate([pad, windows], axis=1)
+        scores = np.empty(windows.shape[0], dtype=np.float64)
+        for start in range(0, len(tails), self.config.batch_size):
+            chunk = tails[start : start + self.config.batch_size]
+            scores[start : start + len(chunk)] = self.model.score_windows(chunk)[:, -1]
+        return scores

@@ -88,6 +88,29 @@ class BaseDetector(ABC):
         self.threshold_ = ratio_threshold(scores, self.anomaly_ratio)
         return self.threshold_
 
+    def score_last(self, windows: np.ndarray) -> np.ndarray:
+        """Score of the *final* observation of each window, shape ``(B,)``.
+
+        This is the batched form of the online-scoring primitive: both
+        :meth:`repro.streaming.StreamingDetector.update_many` and the
+        ``repro.serve`` micro-batcher coalesce many rolling windows into
+        one call here.  The contract is exact equivalence —
+        ``score_last(windows)[i] == score(windows[i])[-1]`` bitwise — so
+        batched and sequential scoring are interchangeable.
+
+        The base implementation loops; detectors with a vectorized
+        window scorer (TFMAE) override it with a true batched forward
+        pass while preserving the equivalence contract.
+        """
+        windows = np.asarray(windows, dtype=np.float64)
+        if windows.ndim == 2:
+            windows = windows[None]
+        if windows.ndim != 3:
+            raise ValueError(
+                f"windows must be (batch, time, features), got shape {windows.shape}"
+            )
+        return np.array([float(self.score(window)[-1]) for window in windows])
+
     def predict(self, series: np.ndarray) -> np.ndarray:
         """Binary anomaly labels via the calibrated threshold (Eq. 17)."""
         self._require_fitted()

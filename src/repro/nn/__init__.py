@@ -25,6 +25,7 @@ from .module import Module, Parameter
 from .optim import SGD, Adam, Optimizer
 from .serialization import (
     CheckpointError,
+    load_metadata,
     load_model,
     load_training_state,
     save_model,
@@ -63,5 +64,6 @@ __all__ = [
     "load_model",
     "save_training_state",
     "load_training_state",
+    "load_metadata",
     "CheckpointError",
 ]

@@ -30,6 +30,7 @@ __all__ = [
     "CheckpointError",
     "save_model",
     "load_model",
+    "load_metadata",
     "atomic_savez",
     "save_training_state",
     "load_training_state",
@@ -142,6 +143,31 @@ def load_model(module: Module, path: str | Path) -> Module:
     _validate_state(module, state, path)
     module.load_state_dict(state)
     return module
+
+
+def load_metadata(path: str | Path) -> dict:
+    """Read only the JSON metadata record of a training-state archive.
+
+    Cheap relative to a full load (one archive member instead of every
+    weight tensor) and usable *before* a model object exists — the serve
+    registry reads the stored config this way to rebuild a detector, then
+    loads the weights into it.
+    """
+    path = _resolve(path)
+    try:
+        with np.load(path) as archive:
+            if _META_KEY not in archive.files:
+                raise CheckpointError(
+                    f"checkpoint {path} has no metadata record; was it written "
+                    "by save_model() instead of save_training_state()?"
+                )
+            payload = bytes(archive[_META_KEY])
+    except (OSError, ValueError) as error:
+        raise CheckpointError(f"checkpoint {path} is unreadable: {error}") from error
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise CheckpointError(f"checkpoint {path} has corrupt metadata: {error}") from error
 
 
 def save_training_state(

@@ -22,36 +22,39 @@ Design notes
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Sequence
 
 import numpy as np
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
-_GRAD_ENABLED = True
+# Per-thread: the serving worker pool scores under no_grad() concurrently
+# with training elsewhere; a process-global flag would race (interleaved
+# save/restore can leave gradients disabled for everyone).
+_GRAD_STATE = threading.local()
 
 
 class no_grad:
     """Context manager that disables graph construction.
 
     Used during inference (anomaly scoring) where gradients are not needed,
-    mirroring ``torch.no_grad``.
+    mirroring ``torch.no_grad``.  The flag is thread-local, so concurrent
+    inference threads never disturb a training thread.
     """
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._prev = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._prev = is_grad_enabled()
+        _GRAD_STATE.enabled = False
         return self
 
     def __exit__(self, *exc_info) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._prev
+        _GRAD_STATE.enabled = self._prev
 
 
 def is_grad_enabled() -> bool:
     """Return whether new operations record gradient information."""
-    return _GRAD_ENABLED
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -98,7 +101,7 @@ class Tensor:
     def __init__(self, data, requires_grad: bool = False, name: str | None = None):
         self.data: np.ndarray = _as_array(data)
         self.grad: np.ndarray | None = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
         self.name = name
@@ -156,7 +159,7 @@ class Tensor:
         flags around the op's backward closure, whose accumulations check
         ``requires_grad``.
         """
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             parents = tuple(parents)

@@ -1,0 +1,56 @@
+"""``repro.serve`` — micro-batched inference serving for fitted detectors.
+
+The online path beyond :class:`~repro.streaming.StreamingDetector`: host
+a fitted, threshold-calibrated detector behind a versioned registry and
+a JSON-over-HTTP interface, with concurrent requests coalesced into
+vectorized forward passes.
+
+Pieces (each usable standalone):
+
+* :class:`ModelRegistry` — persist/load fitted detectors as named,
+  versioned, fingerprinted ``.npz`` artifacts (built on
+  ``repro.nn.serialization``), with load-on-demand LRU caching.
+* :class:`MicroBatcher` — bounded-queue micro-batching scheduler with a
+  worker-thread pool, max-batch/max-delay flush policy, and explicit
+  load-shedding (:class:`Overloaded`).
+* :class:`InferenceServer` — stdlib ``http.server`` front end exposing
+  ``/score``, ``/predict``, ``/healthz``, ``/metrics``, ``/models``.
+* :class:`MetricsRegistry` — counters, gauges, and latency histograms
+  (p50/p95/p99) recorded per endpoint and per model; also used by the
+  serving throughput bench.
+
+Quickstart (in-process)::
+
+    from repro.serve import InferenceServer, ModelRegistry
+
+    registry = ModelRegistry("./model-registry")
+    registry.publish("tfmae-smd", fitted_detector)     # -> "v1"
+    with InferenceServer(registry, port=0) as server:
+        ...                                            # POST {url}/score
+
+See ``docs/serving.md`` for the architecture and API reference.
+"""
+
+from .errors import ModelNotFound, Overloaded, RegistryError, ServeError
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .registry import DetectorCodec, ModelRegistry, config_fingerprint, register_codec
+from .scheduler import MicroBatcher, ScoreRequest
+from .server import InferenceServer
+
+__all__ = [
+    "ServeError",
+    "Overloaded",
+    "ModelNotFound",
+    "RegistryError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ModelRegistry",
+    "DetectorCodec",
+    "register_codec",
+    "config_fingerprint",
+    "MicroBatcher",
+    "ScoreRequest",
+    "InferenceServer",
+]

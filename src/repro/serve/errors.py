@@ -1,0 +1,38 @@
+"""Typed errors for the serving subsystem.
+
+Every failure a client can trigger has its own class so the HTTP front
+end can map it to a status code without string matching, and embedded
+callers (the bench harness, tests) can catch precisely what they expect.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ServeError", "Overloaded", "ModelNotFound", "RegistryError"]
+
+
+class ServeError(RuntimeError):
+    """Base class for all serving-layer failures."""
+
+
+class Overloaded(ServeError):
+    """The micro-batcher's bounded queue is full and the request was shed.
+
+    Raised *immediately* at submit time (load shedding), never after
+    queueing: a client that sees this error knows its request consumed no
+    scoring capacity and can retry with backoff.  Maps to HTTP 429.
+    """
+
+    def __init__(self, depth: int, capacity: int):
+        super().__init__(
+            f"scoring queue is full ({depth}/{capacity} requests); retry with backoff"
+        )
+        self.depth = depth
+        self.capacity = capacity
+
+
+class ModelNotFound(ServeError):
+    """The requested model name/version is not in the registry (HTTP 404)."""
+
+
+class RegistryError(ServeError):
+    """A registry artifact is missing, corrupt, or unpublishable."""

@@ -1,0 +1,307 @@
+"""Model registry: persist fitted detectors as named, versioned artifacts.
+
+Layout — one self-contained ``.npz`` per version (weights *and* metadata
+in a single atomically-written file, so a version can never be half
+published)::
+
+    <root>/
+        <model-name>/
+            v1.npz
+            v2.npz
+            ...
+
+Each artifact is written with
+:func:`repro.nn.serialization.save_training_state`: the module's weights
+under ``model.*`` plus a JSON metadata record carrying everything needed
+to rebuild the detector **without refitting** — the full config, the
+feature count, the calibrated threshold, and a SHA-256 config
+fingerprint.  :meth:`ModelRegistry.load` verifies the fingerprint before
+trusting the metadata, rebuilds the detector through its codec, loads
+the weights (shape-validated by ``load_model`` semantics), and caches
+the result so repeated requests for the same version hit memory.
+
+Detector types plug in through a small codec protocol
+(:func:`register_codec`): ``export`` turns a fitted detector into
+``(module, hyperparams)``, ``build`` turns hyperparams back into an
+unfitted-but-configured detector whose module the weights are loaded
+into.  TFMAE ships registered; baselines with a single ``Module`` can
+register theirs in one call.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import threading
+from collections import OrderedDict
+from dataclasses import asdict
+from pathlib import Path
+from typing import Callable, NamedTuple
+
+from ..detector import BaseDetector
+from ..nn.module import Module
+from ..nn.serialization import (
+    CheckpointError,
+    load_metadata,
+    load_training_state,
+    save_training_state,
+)
+from .errors import ModelNotFound, RegistryError
+
+__all__ = ["ModelRegistry", "DetectorCodec", "register_codec", "config_fingerprint"]
+
+#: Registry schema version embedded in every artifact.
+_SCHEMA = 1
+
+#: Safe path components: no separators, no traversal, no hidden files.
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+class DetectorCodec(NamedTuple):
+    """How to take one detector type apart and put it back together.
+
+    ``export(detector) -> (module, hyperparams)`` — the module whose
+    ``state_dict`` is persisted and a JSON-serialisable hyperparameter
+    dict; ``build(hyperparams) -> (detector, module)`` — a configured
+    detector marked fitted/calibrated plus the module to load weights
+    into.
+    """
+
+    export: Callable[[BaseDetector], tuple[Module, dict]]
+    build: Callable[[dict], tuple[BaseDetector, Module]]
+
+
+_CODECS: dict[str, DetectorCodec] = {}
+
+
+def register_codec(detector_type: str, codec: DetectorCodec) -> None:
+    """Register persistence support for a detector type (by class name)."""
+    _CODECS[detector_type] = codec
+
+
+def config_fingerprint(payload: dict) -> str:
+    """SHA-256 over the canonical JSON form of a config/hyperparam dict."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# TFMAE codec
+# ----------------------------------------------------------------------
+def _tfmae_export(detector: BaseDetector) -> tuple[Module, dict]:
+    from ..core import TFMAE
+
+    assert isinstance(detector, TFMAE)
+    if detector.model is None:
+        raise RegistryError("TFMAE detector has no trained model; fit it first")
+    hyperparams = {
+        "config": asdict(detector.config),
+        "n_features": detector.model.n_features,
+        "threshold": float(detector.threshold_),
+        "anomaly_ratio": detector.anomaly_ratio,
+    }
+    return detector.model, hyperparams
+
+
+def _tfmae_build(hyperparams: dict) -> tuple[BaseDetector, Module]:
+    from ..core import TFMAE, TFMAEConfig
+    from ..core.model import TFMAEModel
+
+    config = TFMAEConfig(**hyperparams["config"])
+    detector = TFMAE(config)
+    detector.model = TFMAEModel(n_features=int(hyperparams["n_features"]), config=config)
+    detector._fitted = True
+    detector.threshold_ = float(hyperparams["threshold"])
+    return detector, detector.model
+
+
+register_codec("TFMAE", DetectorCodec(export=_tfmae_export, build=_tfmae_build))
+
+
+def _validate_component(value: str, what: str) -> str:
+    if not _NAME_RE.match(value):
+        raise RegistryError(
+            f"invalid {what} {value!r}: use letters, digits, '.', '_', '-' "
+            "(must not start with a separator)"
+        )
+    return value
+
+
+class ModelRegistry:
+    """Filesystem-backed store of fitted detectors with an in-memory cache.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the registry (created on first publish).
+    cache_size:
+        Number of loaded detectors kept in memory (LRU). Serving hot
+        models never re-reads the artifact; cold versions load on demand.
+    """
+
+    def __init__(self, root: str | Path, cache_size: int = 4):
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+        self.root = Path(root)
+        self._cache_size = cache_size
+        self._cache: OrderedDict[tuple[str, str], BaseDetector] = OrderedDict()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # publishing
+    # ------------------------------------------------------------------
+    def publish(self, name: str, detector: BaseDetector, version: str | None = None) -> str:
+        """Persist a fitted, threshold-calibrated detector; returns the version.
+
+        ``version`` defaults to the next ``v<n>``.  Publishing an existing
+        version is refused — versions are immutable; publish a new one.
+        """
+        _validate_component(name, "model name")
+        detector_type = type(detector).__name__
+        codec = _CODECS.get(detector_type)
+        if codec is None:
+            raise RegistryError(
+                f"no codec registered for detector type {detector_type!r}; "
+                "see repro.serve.registry.register_codec"
+            )
+        if detector.threshold_ is None:
+            raise RegistryError(
+                f"detector {detector_type!r} has no calibrated threshold; serving "
+                "needs one — fit with a validation split or call calibrate_threshold()"
+            )
+        module, hyperparams = codec.export(detector)
+
+        with self._lock:
+            if version is None:
+                version = f"v{len(self._versions_unlocked(name)) + 1}"
+            _validate_component(version, "version")
+            path = self._artifact_path(name, version)
+            if path.exists():
+                raise RegistryError(
+                    f"{name}:{version} already exists; registry versions are immutable"
+                )
+            metadata = {
+                "schema": _SCHEMA,
+                "name": name,
+                "version": version,
+                "detector": detector_type,
+                "hyperparams": hyperparams,
+                "fingerprint": config_fingerprint(hyperparams),
+            }
+            save_training_state(path, module, metadata=metadata)
+        return version
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def load(self, name: str, version: str | None = None) -> tuple[BaseDetector, str]:
+        """Return ``(detector, version)``; ``version=None`` means latest.
+
+        Cached: the same ``(name, version)`` returns the same instance, so
+        concurrent scoring shares one model's memory.
+        """
+        _validate_component(name, "model name")
+        with self._lock:
+            if version is None:
+                versions = self._versions_unlocked(name)
+                if not versions:
+                    raise ModelNotFound(f"no versions of model {name!r} in {self.root}")
+                version = versions[-1]
+            else:
+                _validate_component(version, "version")
+            key = (name, version)
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                return cached, version
+            detector = self._load_artifact(name, version)
+            self._cache[key] = detector
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        return detector, version
+
+    def _load_artifact(self, name: str, version: str) -> BaseDetector:
+        path = self._artifact_path(name, version)
+        if not path.exists():
+            raise ModelNotFound(f"model {name}:{version} not found in {self.root}")
+        try:
+            metadata = load_metadata(path)
+        except CheckpointError as error:
+            raise RegistryError(f"artifact {path} is unreadable: {error}") from error
+        for field in ("detector", "hyperparams", "fingerprint"):
+            if field not in metadata:
+                raise RegistryError(f"artifact {path} metadata is missing {field!r}")
+        expected = config_fingerprint(metadata["hyperparams"])
+        if metadata["fingerprint"] != expected:
+            raise RegistryError(
+                f"artifact {path} fingerprint mismatch (recorded "
+                f"{metadata['fingerprint'][:12]}…, recomputed {expected[:12]}…); "
+                "the metadata was altered after publishing"
+            )
+        codec = _CODECS.get(metadata["detector"])
+        if codec is None:
+            raise RegistryError(
+                f"artifact {path} needs codec {metadata['detector']!r}, which is "
+                "not registered in this process"
+            )
+        try:
+            detector, module = codec.build(metadata["hyperparams"])
+            load_training_state(path, module)
+        except (CheckpointError, TypeError, ValueError, KeyError) as error:
+            raise RegistryError(f"artifact {path} failed to load: {error}") from error
+        return detector
+
+    # ------------------------------------------------------------------
+    # listing / inspection
+    # ------------------------------------------------------------------
+    def models(self) -> list[str]:
+        """Registered model names, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir() and _NAME_RE.match(entry.name) and any(entry.glob("*.npz"))
+        )
+
+    def versions(self, name: str) -> list[str]:
+        """Versions of a model, oldest first (numeric-aware for ``v<n>``)."""
+        with self._lock:
+            return self._versions_unlocked(name)
+
+    def latest(self, name: str) -> str:
+        versions = self.versions(name)
+        if not versions:
+            raise ModelNotFound(f"no versions of model {name!r} in {self.root}")
+        return versions[-1]
+
+    def describe(self, name: str, version: str | None = None) -> dict:
+        """The stored metadata record for one version (latest by default)."""
+        _validate_component(name, "model name")
+        if version is None:
+            version = self.latest(name)
+        path = self._artifact_path(name, version)
+        if not path.exists():
+            raise ModelNotFound(f"model {name}:{version} not found in {self.root}")
+        try:
+            return load_metadata(path)
+        except CheckpointError as error:
+            raise RegistryError(f"artifact {path} is unreadable: {error}") from error
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _artifact_path(self, name: str, version: str) -> Path:
+        return self.root / name / f"{version}.npz"
+
+    def _versions_unlocked(self, name: str) -> list[str]:
+        directory = self.root / name
+        if not directory.is_dir():
+            return []
+
+        def sort_key(version: str) -> tuple:
+            match = re.fullmatch(r"v(\d+)", version)
+            return (0, int(match.group(1))) if match else (1, version)
+
+        return sorted((p.stem for p in directory.glob("*.npz")), key=sort_key)

@@ -1,0 +1,319 @@
+"""Stdlib JSON-over-HTTP front end for the serving subsystem.
+
+Zero third-party dependencies: :class:`http.server.ThreadingHTTPServer`
+accepts connections (one handler thread per in-flight request), handlers
+enqueue windows into the shared :class:`~repro.serve.scheduler.MicroBatcher`,
+and its worker pool runs the vectorized forward passes.
+
+Endpoints
+---------
+``POST /score``
+    ``{"model": str, "version"?: str, "window": [[...], ...]}`` →
+    ``{"model", "version", "score", "threshold", "anomaly"}``.  The
+    window is ``(time, features)``; a flat list is treated as univariate.
+    Scored through the micro-batcher.
+``POST /predict``
+    Same request; answers only ``{"model", "version", "anomaly"}`` —
+    the thresholded label (Eq. 17) for callers that alert without
+    inspecting scores.
+``GET /healthz``
+    Liveness plus queue depth and registered models.
+``GET /metrics``
+    JSON snapshot of the :class:`~repro.serve.metrics.MetricsRegistry`
+    (counters, gauges, latency histograms with p50/p95/p99).
+``GET /models``
+    Registry listing: every model name with its versions.
+
+Error mapping: malformed request → 400, unknown model/version → 404,
+shed load (:class:`Overloaded`) → 429 with ``Retry-After``, anything
+else → 500.  All error bodies are ``{"error": ..., "detail": ...}``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from .errors import ModelNotFound, Overloaded, RegistryError, ServeError
+from .metrics import MetricsRegistry
+from .registry import ModelRegistry
+from .scheduler import MicroBatcher
+
+__all__ = ["InferenceServer"]
+
+#: Request bodies above this size are rejected before parsing (1 window of
+#: a few thousand observations fits comfortably; this is an 8 MiB guard
+#: against accidental bulk uploads, not a tuning knob).
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+def _jsonable(value):
+    """Replace non-finite floats (invalid JSON) with None, recursively."""
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    return value
+
+
+class _BadRequest(ServeError):
+    """Client-side payload problem (HTTP 400)."""
+
+
+def _parse_window(payload: dict) -> np.ndarray:
+    if "window" not in payload:
+        raise _BadRequest('request body must contain "window"')
+    try:
+        window = np.asarray(payload["window"], dtype=np.float64)
+    except (TypeError, ValueError) as error:
+        raise _BadRequest(f"window is not numeric: {error}") from None
+    if window.ndim == 1:
+        window = window[:, None]
+    if window.ndim != 2 or window.shape[0] < 1:
+        raise _BadRequest(
+            f"window must be (time, features) or a flat univariate list, "
+            f"got shape {tuple(window.shape)}"
+        )
+    if not np.all(np.isfinite(window)):
+        raise _BadRequest("window contains NaN/Inf values; impute upstream")
+    return window
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Keep client connections snappy; scoring time dominates.
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def app(self) -> "InferenceServer":
+        return self.server.app  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Per-request lines go to metrics, not stderr."""
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        started = time.monotonic()
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            self._finish("/healthz", started, 200, self.app.health())
+        elif path == "/metrics":
+            self._finish("/metrics", started, 200, self.app.metrics.snapshot())
+        elif path == "/models":
+            self._finish("/models", started, 200, self.app.list_models())
+        else:
+            self._finish(path, started, 404,
+                         {"error": "not_found", "detail": f"no route {path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        started = time.monotonic()
+        path = self.path.split("?", 1)[0]
+        if path not in ("/score", "/predict"):
+            self._finish(path, started, 404,
+                         {"error": "not_found", "detail": f"no route {path}"})
+            return
+        model = "unknown"
+        try:
+            payload = self._read_json()
+            model = str(payload.get("model", "")) or "unknown"
+            body = self.app.score_request(payload, want_score=(path == "/score"))
+            self._finish(path, started, 200, body, model=model)
+        except _BadRequest as error:
+            self._finish(path, started, 400,
+                         {"error": "bad_request", "detail": str(error)}, model=model)
+        except ModelNotFound as error:
+            self._finish(path, started, 404,
+                         {"error": "model_not_found", "detail": str(error)}, model=model)
+        except Overloaded as error:
+            self._finish(path, started, 429,
+                         {"error": "overloaded", "detail": str(error)},
+                         model=model, headers={"Retry-After": "1"})
+        except (RegistryError, ServeError, ValueError, RuntimeError) as error:
+            self._finish(path, started, 500,
+                         {"error": "internal", "detail": str(error)}, model=model)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise _BadRequest("request body required (JSON)")
+        if length > _MAX_BODY_BYTES:
+            raise _BadRequest(f"request body exceeds {_MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _BadRequest(f"body is not valid JSON: {error}") from None
+        if not isinstance(payload, dict):
+            raise _BadRequest("body must be a JSON object")
+        return payload
+
+    def _finish(self, endpoint: str, started: float, status: int, body: dict,
+                model: str | None = None, headers: dict[str, str] | None = None) -> None:
+        data = json.dumps(_jsonable(body)).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(data)
+        metrics = self.app.metrics
+        labels = {"endpoint": endpoint, "status": str(status)}
+        if model is not None:
+            labels["model"] = model
+        metrics.counter("serve_http_requests_total", **labels).inc()
+        metrics.histogram("serve_http_latency_seconds", endpoint=endpoint).observe(
+            time.monotonic() - started
+        )
+
+
+class _BurstTolerantHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    # The stdlib accept backlog of 5 makes the kernel drop handshakes when
+    # tens of clients connect in the same instant — the client sees a
+    # connection reset mid-request.  Simultaneous bursts are exactly the
+    # traffic micro-batching exists for, so hold a deeper accept queue.
+    request_queue_size = 128
+
+
+class InferenceServer:
+    """Registry + micro-batcher + HTTP front end, wired and lifecycled.
+
+    >>> server = InferenceServer(registry, port=0)     # doctest: +SKIP
+    >>> host, port = server.start()                    # doctest: +SKIP
+    >>> ...                                            # doctest: +SKIP
+    >>> server.stop()                                  # doctest: +SKIP
+
+    ``port=0`` binds an ephemeral port (tests, demos); :attr:`url` gives
+    the resolved address after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        max_batch_size: int = 32,
+        max_delay: float = 0.002,
+        max_queue: int = 256,
+        workers: int = 1,
+        metrics: MetricsRegistry | None = None,
+    ):
+        self.registry = registry
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.batcher = MicroBatcher(
+            detector_for=self._detector_for,
+            max_batch_size=max_batch_size,
+            max_delay=max_delay,
+            max_queue=max_queue,
+            workers=workers,
+            metrics=self.metrics,
+        )
+        self._httpd = _BurstTolerantHTTPServer((host, port), _Handler)
+        self._httpd.app = self  # type: ignore[attr-defined]
+        self._serve_thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # request handling (called from handler threads)
+    # ------------------------------------------------------------------
+    def _detector_for(self, model_key: str):
+        name, _, version = model_key.partition(":")
+        detector, _ = self.registry.load(name, version or None)
+        return detector
+
+    def score_request(self, payload: dict, want_score: bool) -> dict:
+        name = payload.get("model")
+        if not name or not isinstance(name, str):
+            raise _BadRequest('request body must name a "model"')
+        version = payload.get("version")
+        if version is not None and not isinstance(version, str):
+            raise _BadRequest('"version" must be a string when given')
+        window = _parse_window(payload)
+        # Resolve "latest" to a concrete version *before* batching so the
+        # batcher groups requests by the version they will actually hit.
+        detector, resolved = self.registry.load(name, version)
+        score = self.batcher.score(f"{name}:{resolved}", window)
+        threshold = float(detector.threshold_)
+        body = {
+            "model": name,
+            "version": resolved,
+            "anomaly": bool(math.isfinite(score) and score >= threshold),
+        }
+        if want_score:
+            body["score"] = score
+            body["threshold"] = threshold
+        return body
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "models": self.registry.models(),
+            "queue_depth": self.batcher._queue.qsize(),
+            "workers": len(self.batcher._workers),
+        }
+
+    def list_models(self) -> dict:
+        return {
+            "models": {name: self.registry.versions(name) for name in self.registry.models()}
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> tuple[str, int]:
+        """Start the batcher workers and the HTTP accept loop (background)."""
+        self.batcher.start()
+        if self._serve_thread is None:
+            self._serve_thread = threading.Thread(
+                target=self._httpd.serve_forever, name="repro-serve-http", daemon=True,
+                kwargs={"poll_interval": 0.05},
+            )
+            self._serve_thread.start()
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    def stop(self) -> None:
+        """Stop accepting connections, drain the batcher, release the port."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self.batcher.stop()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+            self._serve_thread = None
+
+    def __enter__(self) -> "InferenceServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def serve_forever(self) -> None:
+        """Foreground serve (the CLI path); Ctrl-C stops gracefully."""
+        self.batcher.start()
+        host, port = self._httpd.server_address[:2]
+        print(f"repro.serve listening on http://{host}:{port} "
+              f"(models: {', '.join(self.registry.models()) or 'none'})")
+        try:
+            self._httpd.serve_forever(poll_interval=0.2)
+        except KeyboardInterrupt:
+            print("\nshutting down (draining in-flight requests)...")
+        finally:
+            self._httpd.server_close()
+            self.batcher.stop()

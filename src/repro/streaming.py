@@ -209,6 +209,131 @@ class StreamingDetector:
         )
 
     def update_many(self, observations: np.ndarray) -> list[StreamEvent]:
-        """Ingest a batch of observations in arrival order."""
+        """Ingest a batch of observations in arrival order.
+
+        Events are identical to calling :meth:`update` per row — same
+        indices, same flags, bitwise-equal scores — but all post-warmup
+        windows are scored through the detector's batched
+        :meth:`~repro.detector.BaseDetector.score_last` (one vectorized
+        forward pass per window length) instead of one ``score`` call per
+        observation, which is what makes high-rate streams affordable.
+        The same helper backs the ``repro.serve`` micro-batcher, so
+        streaming and serving share one batched hot path.
+
+        The serial path is kept for the fault-handling modes whose
+        per-observation state machine batching cannot preserve: an active
+        :class:`~repro.robustness.FaultPolicy`, an already-degraded
+        stream, or a primary detector that errors/returns non-finite
+        scores mid-batch (detected and replayed serially, yielding the
+        exact sequential events).  Without a policy, malformed input
+        raises the same :class:`ValueError` as :meth:`update`, before any
+        observation of the batch is ingested.
+        """
         observations = np.atleast_2d(np.asarray(observations, dtype=np.float64))
-        return [self.update(row) for row in observations]
+        if observations.ndim != 2:
+            raise ValueError(
+                f"observations must be (batch, features), got shape {observations.shape}"
+            )
+        if len(observations) == 0:
+            return []
+        # Fault-handling paths keep the exact serial state machine:
+        # sanitization depends on the evolving buffer and degradation
+        # flips per event.
+        if self.policy is not None or self._degraded:
+            return [self.update(row) for row in observations]
+
+        # Validate the whole batch up front so the fast path fails before
+        # ingesting anything, exactly where the serial loop would.
+        dimension = self._dimension if self._dimension is not None else observations.shape[1]
+        if observations.shape[1] != dimension:
+            raise ValueError(
+                f"observation {self._count} has {observations.shape[1]} features but "
+                f"the stream was established with {dimension}; a ragged buffer "
+                "cannot be scored"
+            )
+        finite_rows = np.all(np.isfinite(observations), axis=1)
+        if not np.all(finite_rows):
+            bad = self._count + int(np.argmin(finite_rows))
+            raise ValueError(
+                f"observation {bad} contains NaN/Inf values; impute upstream "
+                "or pass a FaultPolicy to degrade gracefully"
+            )
+
+        # Ingest: grow the buffer per observation, snapshotting the
+        # rolling window wherever a score is due.
+        first_index = self._count
+        scored_at: list[int] = []          # offsets into this batch
+        windows: list[np.ndarray] = []
+        if self._dimension is None:
+            self._dimension = dimension
+        for offset, row in enumerate(observations):
+            self._buffer.append(row)
+            self._count += 1
+            if self._count >= self.warmup:
+                scored_at.append(offset)
+                windows.append(np.stack(self._buffer))
+
+        # Score all snapshots, batched per window length (lengths vary
+        # only while the buffer is still filling).
+        scores = np.full(len(windows), np.nan)
+        by_length: dict[int, list[int]] = {}
+        for position, window in enumerate(windows):
+            by_length.setdefault(len(window), []).append(position)
+        try:
+            for positions in by_length.values():
+                batch = np.stack([windows[position] for position in positions])
+                batch_scores = self.detector.score_last(batch)
+                scores[positions] = batch_scores
+            if windows and not np.all(np.isfinite(scores)):
+                raise ValueError("non-finite score in batched streaming update")
+        except Exception:
+            # Primary failed mid-batch.  Replay the scoring serially via
+            # the per-window state machine so errors surface (policy is
+            # None here) at the exact observation the serial loop would
+            # blame.  Ingestion already happened; scores are recomputed
+            # from the snapshots, which is deterministic.
+            return self._assemble_serial(first_index, observations, scored_at, windows)
+
+        threshold = float(self.detector.threshold_)
+        events: list[StreamEvent] = []
+        scored = {offset: position for position, offset in enumerate(scored_at)}
+        for offset in range(len(observations)):
+            index = first_index + offset
+            position = scored.get(offset)
+            if position is None:
+                events.append(StreamEvent(index=index, score=float("nan"),
+                                          is_anomaly=False, flags=("warmup",)))
+            else:
+                score = float(scores[position])
+                events.append(StreamEvent(
+                    index=index,
+                    score=score,
+                    is_anomaly=bool(math.isfinite(score) and score >= threshold),
+                ))
+        return events
+
+    def _assemble_serial(
+        self,
+        first_index: int,
+        observations: np.ndarray,
+        scored_at: list[int],
+        windows: list[np.ndarray],
+    ) -> list[StreamEvent]:
+        """Serial-scoring replay for a batch whose fast path failed."""
+        events: list[StreamEvent] = []
+        scored = {offset: position for position, offset in enumerate(scored_at)}
+        for offset in range(len(observations)):
+            index = first_index + offset
+            position = scored.get(offset)
+            if position is None:
+                events.append(StreamEvent(index=index, score=float("nan"),
+                                          is_anomaly=False, flags=("warmup",)))
+                continue
+            score, threshold, flags = self._score_window(windows[position])
+            events.append(StreamEvent(
+                index=index,
+                score=score,
+                is_anomaly=bool(math.isfinite(score) and score >= threshold),
+                flags=tuple(flags),
+            ))
+        return events

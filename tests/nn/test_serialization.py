@@ -122,3 +122,23 @@ class TestTrainingState:
                                    extra_arrays=best)
         _, extra = load_training_state(path, _make_model(1))
         assert set(extra) == set(best)
+
+    def test_load_metadata_reads_without_a_model(self, tmp_path):
+        from repro.nn import load_metadata
+
+        metadata = {"epoch": 3, "config": {"window_size": 50}}
+        path = save_training_state(tmp_path / "state", _make_model(0), None, metadata)
+        assert load_metadata(path) == metadata
+
+    def test_load_metadata_rejects_bare_model_archive(self, tmp_path):
+        from repro.nn import load_metadata
+
+        save_model(_make_model(0), tmp_path / "bare.npz")
+        with pytest.raises(CheckpointError, match="metadata"):
+            load_metadata(tmp_path / "bare.npz")
+
+    def test_load_metadata_missing_file(self, tmp_path):
+        from repro.nn import load_metadata
+
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            load_metadata(tmp_path / "ghost.npz")

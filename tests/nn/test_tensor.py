@@ -227,6 +227,35 @@ class TestGraphMechanics:
             assert not y.requires_grad
         assert is_grad_enabled()
 
+    def test_no_grad_is_thread_local(self):
+        """Concurrent inference threads (the serve worker pool) must not
+        disturb graph construction in other threads: interleaved global
+        save/restore used to leave gradients disabled process-wide."""
+        import threading
+
+        entered = threading.Event()
+        release = threading.Event()
+        observed = {}
+
+        def scorer():
+            with no_grad():
+                entered.set()
+                release.wait(timeout=10)
+                observed["inside_worker"] = is_grad_enabled()
+
+        worker = threading.Thread(target=scorer)
+        worker.start()
+        entered.wait(timeout=10)
+        # Training thread: unaffected by the worker's no_grad().
+        assert is_grad_enabled()
+        x = Tensor([1.0], requires_grad=True)
+        y = x * 2.0
+        assert y.requires_grad
+        release.set()
+        worker.join(timeout=10)
+        assert observed["inside_worker"] is False
+        assert is_grad_enabled()
+
     def test_deep_graph_no_recursion_error(self):
         x = Tensor([1.0], requires_grad=True)
         y = x

@@ -1,0 +1,47 @@
+"""Shared serving fixtures: a small fitted TFMAE and toy detectors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TFMAE, TFMAEConfig
+from repro.detector import BaseDetector
+
+
+class AbsLastDetector(BaseDetector):
+    """Toy detector: score is |value| of the first feature (instant fit)."""
+
+    name = "abs"
+
+    def _fit(self, train: np.ndarray) -> None:
+        pass
+
+    def score(self, series: np.ndarray) -> np.ndarray:
+        return np.abs(series[:, 0])
+
+
+@pytest.fixture
+def toy_detector(rng) -> AbsLastDetector:
+    detector = AbsLastDetector(anomaly_ratio=5.0)
+    detector.fit(rng.normal(size=(100, 1)), rng.normal(size=(500, 1)))
+    return detector
+
+
+@pytest.fixture(scope="module")
+def sine_series() -> np.ndarray:
+    rng = np.random.default_rng(0)
+    t = np.arange(600)
+    return np.sin(2 * np.pi * t / 25.0)[:, None] + rng.normal(0, 0.05, (600, 1))
+
+
+@pytest.fixture(scope="module")
+def fitted_tfmae(sine_series) -> TFMAE:
+    """One small trained TFMAE shared by the serving tests (module scope:
+    training dominates this package's runtime)."""
+    config = TFMAEConfig(window_size=50, d_model=16, num_layers=1, num_heads=2,
+                         anomaly_ratio=5.0, epochs=1, batch_size=8,
+                         learning_rate=1e-3)
+    detector = TFMAE(config)
+    detector.fit(sine_series[:400], sine_series[400:500])
+    return detector

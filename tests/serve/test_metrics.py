@@ -1,0 +1,134 @@
+"""Metrics core: counters, gauges, histograms, registry semantics."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry, metric_key
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter()
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_thread_safety(self):
+        counter = Counter()
+
+        def hammer():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 80_000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+
+class TestHistogram:
+    def test_summary_over_known_values(self):
+        histogram = Histogram()
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        summary = histogram.summary()
+        assert summary["count"] == 100
+        assert summary["sum"] == pytest.approx(5050.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 100.0
+        assert summary["p50"] == pytest.approx(np.quantile(np.arange(1.0, 101.0), 0.5))
+        assert summary["p99"] == pytest.approx(np.quantile(np.arange(1.0, 101.0), 0.99))
+
+    def test_empty_histogram_reports_nan_quantiles(self):
+        summary = Histogram().summary()
+        assert summary["count"] == 0
+        assert np.isnan(summary["p50"])
+
+    def test_ring_buffer_bounds_memory_but_keeps_exact_count(self):
+        histogram = Histogram(capacity=10)
+        for value in range(1000):
+            histogram.observe(float(value))
+        summary = histogram.summary()
+        assert summary["count"] == 1000          # lifetime-exact
+        assert summary["max"] == 999.0           # lifetime-exact
+        # Quantiles cover the most recent `capacity` observations.
+        assert summary["p50"] >= 990.0
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Histogram(capacity=0)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        first = registry.counter("requests", endpoint="/score")
+        second = registry.counter("requests", endpoint="/score")
+        assert first is second
+        assert registry.counter("requests", endpoint="/predict") is not first
+
+    def test_label_order_is_canonical(self):
+        assert metric_key("m", {"b": "2", "a": "1"}) == "m{a=1,b=2}"
+        registry = MetricsRegistry()
+        assert (registry.counter("m", b="2", a="1")
+                is registry.counter("m", a="1", b="2"))
+
+    def test_type_conflicts_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ValueError):
+            registry.gauge("m")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("hits", endpoint="/score").inc(3)
+        registry.gauge("depth").set(7)
+        registry.histogram("latency", endpoint="/score").observe(0.01)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["hits{endpoint=/score}"] == 3
+        assert snapshot["gauges"]["depth"] == 7
+        assert snapshot["histograms"]["latency{endpoint=/score}"]["count"] == 1
+
+    def test_render_text_one_line_per_value(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        text = registry.render_text()
+        assert "hits 1" in text
+
+    def test_concurrent_creation_is_safe(self):
+        registry = MetricsRegistry()
+        instances = []
+
+        def create():
+            instances.append(registry.counter("shared"))
+
+        threads = [threading.Thread(target=create) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(instance is instances[0] for instance in instances)

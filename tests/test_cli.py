@@ -26,6 +26,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--dataset", "Nope"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.registry == "./model-registry"
+        assert args.port == 8080
+        assert args.max_batch_size == 32
+        assert args.max_delay_ms == 2.0
+        assert args.queue_size == 256
+        assert not args.demo
+
 
 class TestCommands:
     def test_list_datasets(self, capsys):
@@ -58,3 +67,35 @@ class TestCommands:
         code = main(["run", "--method", "LOF", "--dataset", "NIPS-TS-Global",
                      "--scale", "0.02", "--anomaly-ratio", "5.0", "--no-adjust"])
         assert code == 0
+
+    def test_serve_empty_registry_exits_with_guidance(self, tmp_path):
+        from repro.cli import _build_server
+
+        args = build_parser().parse_args(["serve", "--registry", str(tmp_path)])
+        with pytest.raises(SystemExit, match="no models"):
+            _build_server(args)
+
+    def test_serve_builds_server_from_registry(self, tmp_path, rng, fast_config):
+        """_build_server wires registry + batcher + HTTP front end from
+        CLI flags; serve_forever() is the only piece not exercised."""
+        import numpy as np
+
+        from repro.cli import _build_server
+        from repro.core import TFMAE
+        from repro.serve import ModelRegistry
+
+        t = np.arange(400)
+        series = np.sin(2 * np.pi * t / 25.0)[:, None] + rng.normal(0, 0.05, (400, 1))
+        detector = TFMAE(fast_config)
+        detector.fit(series[:300], series[300:])
+        ModelRegistry(tmp_path).publish("demo", detector)
+
+        args = build_parser().parse_args(
+            ["serve", "--registry", str(tmp_path), "--port", "0",
+             "--max-batch-size", "4", "--workers", "1"]
+        )
+        server = _build_server(args)
+        assert server.batcher.max_batch_size == 4
+        with server:
+            score = server.batcher.score("demo:v1", series[:50])
+        assert score == detector.score(series[:50])[-1]

@@ -92,6 +92,93 @@ class TestStreamingDetector:
             expected = detector.score(window)[-1]
             assert events[t].score == pytest.approx(expected)
 
+    def test_update_many_matches_serial_updates_bitwise(self, rng):
+        """The vectorized batch path must be indistinguishable from the
+        per-observation loop: same indices, flags, labels, and bitwise-
+        equal scores — including the partially-filled-buffer windows that
+        appear when warmup is shorter than the context."""
+        detector = _fitted_detector(rng)
+        series = rng.normal(size=(60, 1))
+        batched_stream = StreamingDetector(detector, context=8, warmup=3)
+        serial_stream = StreamingDetector(detector, context=8, warmup=3)
+        batched = batched_stream.update_many(series)
+        serial = [serial_stream.update(row) for row in series]
+        assert len(batched) == len(serial)
+        for batch_event, serial_event in zip(batched, serial):
+            assert batch_event.index == serial_event.index
+            assert batch_event.flags == serial_event.flags
+            assert batch_event.is_anomaly == serial_event.is_anomaly
+            if np.isnan(serial_event.score):
+                assert np.isnan(batch_event.score)
+            else:
+                assert batch_event.score == serial_event.score
+        assert batched_stream.observations_seen == serial_stream.observations_seen
+        assert np.array_equal(np.stack(batched_stream._buffer),
+                              np.stack(serial_stream._buffer))
+
+    def test_update_many_matches_serial_with_tfmae(self, rng, fast_config):
+        from repro.core import TFMAE
+
+        t = np.arange(500)
+        series = np.sin(2 * np.pi * t / 25.0)[:, None] + rng.normal(0, 0.05, (500, 1))
+        detector = TFMAE(fast_config)
+        detector.fit(series[:350], series[350:450])
+        tail = series[450:]
+        batched = StreamingDetector(detector, context=50, warmup=10).update_many(tail)
+        serial_stream = StreamingDetector(detector, context=50, warmup=10)
+        serial = [serial_stream.update(row) for row in tail]
+        for batch_event, serial_event in zip(batched, serial):
+            if np.isnan(serial_event.score):
+                assert np.isnan(batch_event.score)
+            else:
+                assert batch_event.score == serial_event.score
+            assert batch_event.is_anomaly == serial_event.is_anomaly
+
+    def test_update_many_split_calls_equal_one_call(self, rng):
+        """Chunked ingestion hits the same state as one big batch."""
+        detector = _fitted_detector(rng)
+        series = rng.normal(size=(30, 1))
+        one_call = StreamingDetector(detector, context=6, warmup=2).update_many(series)
+        chunked_stream = StreamingDetector(detector, context=6, warmup=2)
+        chunked = (chunked_stream.update_many(series[:7])
+                   + chunked_stream.update_many(series[7:13])
+                   + chunked_stream.update_many(series[13:]))
+        for left, right in zip(one_call, chunked):
+            assert left.index == right.index
+            assert (np.isnan(left.score) and np.isnan(right.score)) \
+                or left.score == right.score
+
+    def test_update_many_rejects_nonfinite_before_ingesting(self, rng):
+        detector = _fitted_detector(rng)
+        stream = StreamingDetector(detector, context=5, warmup=0)
+        series = rng.normal(size=(10, 1))
+        series[4, 0] = np.nan
+        with pytest.raises(ValueError, match="observation 4"):
+            stream.update_many(series)
+        # Fast-path validation fails before any row is ingested.
+        assert stream.observations_seen == 0
+
+    def test_update_many_with_policy_matches_serial(self, rng):
+        """With a FaultPolicy the serial state machine is authoritative;
+        update_many must keep producing the same flagged events."""
+        from repro.robustness import FaultPolicy
+
+        detector = _fitted_detector(rng)
+        series = rng.normal(size=(40, 1))
+        series[10, 0] = np.nan  # imputed by the policy
+        policy = FaultPolicy(impute_nonfinite=True)
+        batched = StreamingDetector(detector, context=8, warmup=3,
+                                    policy=policy).update_many(series)
+        serial_stream = StreamingDetector(detector, context=8, warmup=3,
+                                          policy=FaultPolicy(impute_nonfinite=True))
+        serial = [serial_stream.update(row) for row in series]
+        for batch_event, serial_event in zip(batched, serial):
+            assert batch_event.flags == serial_event.flags
+            if np.isnan(serial_event.score):
+                assert np.isnan(batch_event.score)
+            else:
+                assert batch_event.score == serial_event.score
+
     def test_with_tfmae(self, rng):
         """End to end with the real model: streamed spike ranks highest."""
         from repro.core import TFMAE, TFMAEConfig
