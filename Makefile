@@ -1,6 +1,6 @@
 # Convenience targets for the TFMAE reproduction.
 
-.PHONY: install test bench bench-tables bench-figures robustness serve serve-bench examples clean
+.PHONY: install test bench bench-tables bench-figures perf robustness serve serve-bench examples clean
 
 install:
 	python setup.py develop
@@ -24,6 +24,11 @@ bench-figures:
 	       benchmarks/bench_fig7_hyperparams.py benchmarks/bench_fig8_case_study.py \
 	       benchmarks/bench_fig9_distribution_shift.py benchmarks/bench_fig10_efficiency.py \
 	       --benchmark-only -s
+
+perf:
+	PYTHONPATH=src python benchmarks/bench_nn_kernels.py
+	PYTHONPATH=src pytest tests/nn/test_fused.py tests/core/test_batched_scoring.py -q
+	PYTHONPATH=src pytest benchmarks/bench_nn_kernels.py --benchmark-only -s
 
 robustness:
 	PYTHONPATH=src pytest tests/core/test_fault_tolerance.py \

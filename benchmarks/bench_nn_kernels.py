@@ -2,19 +2,28 @@
 
 Not a paper figure: tracks the throughput of the hot kernels every
 training run is made of — attention forward+backward, the Transformer
-layer, the GRU unroll, im2col Conv1d, and the two masking transforms.
-Run with real pytest-benchmark rounds so regressions in the engine are
-visible:
+layer, the GRU unroll, im2col Conv1d, and the two masking transforms —
+plus head-to-head fused-vs-reference pairs for the single-node kernels
+of :mod:`repro.nn.fused`.  Run with real pytest-benchmark rounds so
+regressions in the engine are visible:
 
     pytest benchmarks/bench_nn_kernels.py --benchmark-only
+
+or produce the committed speedup table (``results/nn_kernels_fused.txt``)
+directly:
+
+    PYTHONPATH=src python benchmarks/bench_nn_kernels.py
 """
 
 from __future__ import annotations
 
+import time
+from pathlib import Path
+
 import numpy as np
 
 from repro.masking import FrequencyMasker, TemporalMasker
-from repro.nn import GRU, Conv1d, MultiHeadSelfAttention, Tensor, TransformerLayer
+from repro.nn import GRU, Conv1d, MultiHeadSelfAttention, Tensor, TransformerLayer, fused
 
 _RNG = np.random.default_rng(0)
 _BATCH, _TIME, _DIM = 8, 100, 32
@@ -60,3 +69,175 @@ def test_temporal_masking(benchmark):
 def test_frequency_masking(benchmark):
     result = benchmark(_frequency, _WINDOWS)
     assert result.num_masked == 30
+
+
+# ----------------------------------------------------------------------
+# fused vs reference pairs (same math, one graph node vs composition)
+# ----------------------------------------------------------------------
+def _with_fused(enabled: bool, fn, *args):
+    with fused.use_fused(enabled):
+        return fn(*args)
+
+
+def test_attention_fused(benchmark):
+    benchmark(_with_fused, True, _forward_backward, _attention, _X)
+
+
+def test_attention_reference(benchmark):
+    benchmark(_with_fused, False, _forward_backward, _attention, _X)
+
+
+def test_transformer_layer_fused(benchmark):
+    benchmark(_with_fused, True, _forward_backward, _layer, _X)
+
+
+def test_transformer_layer_reference(benchmark):
+    benchmark(_with_fused, False, _forward_backward, _layer, _X)
+
+
+def _elementwise_pair(op, ref_op, *tensors):
+    def run(kernel):
+        fresh = [Tensor(t.copy(), requires_grad=True) for t in tensors]
+        out = kernel(*fresh)
+        (out * out).mean().backward()
+        return out
+
+    return run
+
+
+_LN_X = _RNG.normal(size=(_BATCH, _TIME, _DIM))
+_LN_W = _RNG.normal(size=(_DIM,))
+_LN_B = _RNG.normal(size=(_DIM,))
+
+
+def test_layer_norm_fused(benchmark):
+    run = _elementwise_pair(fused.layer_norm, None, _LN_X, _LN_W, _LN_B)
+    benchmark(run, fused.layer_norm)
+
+
+def test_layer_norm_reference(benchmark):
+    run = _elementwise_pair(None, fused.reference_layer_norm, _LN_X, _LN_W, _LN_B)
+    benchmark(run, fused.reference_layer_norm)
+
+
+def test_softmax_fused(benchmark):
+    run = _elementwise_pair(fused.softmax, None, _LN_X)
+    benchmark(run, fused.softmax)
+
+
+def test_softmax_reference(benchmark):
+    run = _elementwise_pair(None, fused.reference_softmax, _LN_X)
+    benchmark(run, fused.reference_softmax)
+
+
+def test_gelu_fused(benchmark):
+    run = _elementwise_pair(fused.gelu, None, _LN_X)
+    benchmark(run, fused.gelu)
+
+
+def test_gelu_reference(benchmark):
+    run = _elementwise_pair(None, fused.reference_gelu, _LN_X)
+    benchmark(run, fused.reference_gelu)
+
+
+# ----------------------------------------------------------------------
+# committed speedup table (results/nn_kernels_fused.txt)
+# ----------------------------------------------------------------------
+def _time(fn, repeats: int = 30, warmup: int = 3) -> float:
+    """Best-of-N wall-clock seconds for one call of ``fn``."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _pair_row(name: str, build, dtype) -> tuple[str, float]:
+    """Time the fused and reference variants of one kernel invocation."""
+
+    def run(enabled: bool):
+        with fused.use_fused(enabled):
+            build()
+
+    fused_s = _time(lambda: run(True))
+    ref_s = _time(lambda: run(False))
+    speedup = ref_s / fused_s
+    row = (
+        f"{name:<28} {np.dtype(dtype).name:<8} {ref_s * 1e3:>10.3f} "
+        f"{fused_s * 1e3:>10.3f} {speedup:>8.2f}x"
+    )
+    return row, speedup
+
+
+def run_fused_table() -> str:
+    """Fused vs reference forward+backward timings, float64 and float32."""
+    rows = [
+        "nn kernel fusion: forward+backward wall-clock (best of 30)",
+        "shapes: attention/layer (8, 100, 32) 4 heads; elementwise (8, 100, 32)",
+        f"{'kernel':<28} {'dtype':<8} {'ref_ms':>10} {'fused_ms':>10} {'speedup':>9}",
+    ]
+    speedups: dict[str, float] = {}
+    for dtype in (np.float64, np.float32):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(_BATCH, _TIME, _DIM)).astype(dtype)
+        w = rng.normal(size=(_DIM,)).astype(dtype)
+        b = rng.normal(size=(_DIM,)).astype(dtype)
+        attention = MultiHeadSelfAttention(_DIM, 4, np.random.default_rng(0))
+        attention.to_dtype(dtype)
+        layer = TransformerLayer(_DIM, 4, np.random.default_rng(0))
+        layer.to_dtype(dtype)
+
+        def fwd_bwd(module):
+            inp = Tensor(x, requires_grad=True, dtype=dtype)
+            out = module(inp)
+            (out * out).mean().backward()
+
+        def elementwise(kernel_pair):
+            fused_fn, ref_fn = kernel_pair
+            kernel = fused_fn if fused.fused_enabled() else ref_fn
+            inp = Tensor(x, requires_grad=True, dtype=dtype)
+            out = kernel(inp)
+            (out * out).mean().backward()
+
+        def layer_norm_case():
+            kernel = fused.layer_norm if fused.fused_enabled() else fused.reference_layer_norm
+            inp = Tensor(x, requires_grad=True, dtype=dtype)
+            out = kernel(inp, Tensor(w, dtype=dtype), Tensor(b, dtype=dtype))
+            (out * out).mean().backward()
+
+        cases = [
+            ("attention (SDPA)", lambda: fwd_bwd(attention)),
+            ("transformer layer", lambda: fwd_bwd(layer)),
+            ("layer_norm", layer_norm_case),
+            ("softmax", lambda: elementwise((fused.softmax, fused.reference_softmax))),
+            ("gelu", lambda: elementwise((fused.gelu, fused.reference_gelu))),
+            (
+                "log_softmax",
+                lambda: elementwise((fused.log_softmax, fused.reference_log_softmax)),
+            ),
+        ]
+        for name, build in cases:
+            row, speedup = _pair_row(name, build, dtype)
+            rows.append(row)
+            speedups[f"{name}/{np.dtype(dtype).name}"] = speedup
+    rows.append("")
+    rows.append(
+        "acceptance: fused attention float32 speedup = "
+        f"{speedups['attention (SDPA)/float32']:.2f}x (target >= 1.5x)"
+    )
+    return "\n".join(rows)
+
+
+def main() -> None:
+    table = run_fused_table()
+    results = Path(__file__).parent / "results"
+    results.mkdir(exist_ok=True)
+    (results / "nn_kernels_fused.txt").write_text(table + "\n")
+    print(table)
+
+
+if __name__ == "__main__":
+    main()

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..datasets.windows import score_series
+from ..datasets.windows import batched_window_scores, score_series
 from ..detector import BaseDetector, check_finite_series
 from .config import TFMAEConfig
 from .model import TFMAEModel
@@ -98,8 +98,8 @@ class TFMAE(BaseDetector):
         else:
             pad = np.repeat(windows[:, :1, :], size - time, axis=1)
             tails = np.concatenate([pad, windows], axis=1)
-        scores = np.empty(windows.shape[0], dtype=np.float64)
-        for start in range(0, len(tails), self.config.batch_size):
-            chunk = tails[start : start + self.config.batch_size]
-            scores[start : start + len(chunk)] = self.model.score_windows(chunk)[:, -1]
-        return scores
+        return batched_window_scores(
+            tails,
+            lambda chunk: self.model.score_windows(chunk)[:, -1],
+            batch_size=self.config.batch_size,
+        )

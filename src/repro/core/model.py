@@ -167,6 +167,7 @@ class TFMAEModel(Module):
         super().__init__()
         self.config = config if config is not None else TFMAEConfig()
         self.n_features = n_features
+        self.compute_dtype = np.dtype(self.config.compute_dtype)
         rng = np.random.default_rng(self.config.seed)
 
         if self.config.use_temporal_branch:
@@ -184,6 +185,12 @@ class TFMAEModel(Module):
             # need an output head mapping D back to N.
             self.reconstruction_head = nn.Linear(self.config.d_model, n_features, rng)
 
+        # Parameters are initialised in float64 (deterministic across
+        # dtype policies, same seeds => same float64 weights) and cast
+        # once when the model opts into reduced precision.
+        if self.compute_dtype != np.float64:
+            self.to_dtype(self.compute_dtype)
+
     # ------------------------------------------------------------------
     # forward passes
     # ------------------------------------------------------------------
@@ -195,8 +202,12 @@ class TFMAEModel(Module):
             raise ValueError(
                 f"model built for {self.n_features} features, got {windows.shape[-1]}"
             )
-        p = self.temporal(windows) if self.temporal is not None else None
-        f = self.frequency(windows) if self.frequency is not None else None
+        # Every tensor built inside the branches follows the model's
+        # compute-dtype policy (thread-local, so a float32 model serving
+        # traffic never disturbs float64 work elsewhere).
+        with nn.default_dtype(self.compute_dtype):
+            p = self.temporal(windows) if self.temporal is not None else None
+            f = self.frequency(windows) if self.frequency is not None else None
         return p, f
 
     # ------------------------------------------------------------------
@@ -209,13 +220,14 @@ class TFMAEModel(Module):
         single-branch ablations use reconstruction MSE.
         """
         p, f = self.forward(windows)
-        if self._dual:
-            loss, metrics = self._contrastive_loss(p, f)
-        else:
-            representation = p if p is not None else f
-            reconstruction = self.reconstruction_head(representation)
-            loss = F.mse_loss(reconstruction, Tensor(windows))
-            metrics = {"reconstruction_mse": loss.item()}
+        with nn.default_dtype(self.compute_dtype):
+            if self._dual:
+                loss, metrics = self._contrastive_loss(p, f)
+            else:
+                representation = p if p is not None else f
+                reconstruction = self.reconstruction_head(representation)
+                loss = F.mse_loss(reconstruction, Tensor(windows))
+                metrics = {"reconstruction_mse": loss.item()}
         return loss, metrics
 
     def _contrastive_loss(self, p: Tensor, f: Tensor) -> tuple[Tensor, dict[str, float]]:
@@ -251,12 +263,12 @@ class TFMAEModel(Module):
         the symmetric KL discrepancy (Eq. 16); single-branch ablations use
         the per-point reconstruction error.
         """
-        with nn.no_grad():
+        with nn.no_grad(), nn.default_dtype(self.compute_dtype):
             p, f = self.forward(windows)
             if self._dual:
                 score = F.symmetric_kl(p, f, reduce=False)
-                return score.data
+                return score.data.astype(np.float64, copy=False)
             representation = p if p is not None else f
             reconstruction = self.reconstruction_head(representation)
             error = (reconstruction - Tensor(windows)) ** 2
-            return error.data.mean(axis=-1)
+            return error.data.mean(axis=-1).astype(np.float64, copy=False)

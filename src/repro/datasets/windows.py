@@ -5,13 +5,31 @@ windows of 100 observations.  Training uses non-overlapping windows;
 scoring also uses non-overlapping windows so each observation receives
 exactly one score, with a final overlapping window covering any tail
 shorter than the window size.
+
+Window extraction is **zero-copy**: :func:`sliding_windows` returns a
+read-only strided view built with ``numpy.lib.stride_tricks
+.sliding_window_view`` instead of materialising ``(num_windows, size,
+features)`` copies.  Every consumer in the library only reads windows
+(training batches are gathered by fancy indexing, which copies exactly
+the batch it needs); call ``.copy()`` on the result if you must mutate.
+
+:func:`batched_window_scores` is the shared chunked scorer: it drives a
+window-scoring function over a big window stack in bounded-memory chunks
+and is the single implementation behind ``TFMAE.score``,
+``TFMAE.score_last``, the streaming fast path and (through
+``score_last``) the serving micro-batcher.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["sliding_windows", "non_overlapping_windows", "score_series"]
+__all__ = [
+    "sliding_windows",
+    "non_overlapping_windows",
+    "batched_window_scores",
+    "score_series",
+]
 
 
 def sliding_windows(series: np.ndarray, size: int, stride: int) -> np.ndarray:
@@ -27,8 +45,9 @@ def sliding_windows(series: np.ndarray, size: int, stride: int) -> np.ndarray:
     Returns
     -------
     numpy.ndarray
-        ``(num_windows, size, features)``; empty when the series is
-        shorter than ``size``.
+        ``(num_windows, size, features)`` **read-only zero-copy view** of
+        ``series`` (empty when the series is shorter than ``size``).
+        Mutating consumers must ``.copy()`` first.
     """
     if series.ndim != 2:
         raise ValueError(f"expected (time, features), got shape {series.shape}")
@@ -37,13 +56,37 @@ def sliding_windows(series: np.ndarray, size: int, stride: int) -> np.ndarray:
     time = series.shape[0]
     if time < size:
         return np.empty((0, size, series.shape[1]), dtype=series.dtype)
-    starts = range(0, time - size + 1, stride)
-    return np.stack([series[s : s + size] for s in starts])
+    # (num_full, features, size) view -> transpose to (num_full, size,
+    # features); transposing and slicing a view stays a view.
+    view = np.lib.stride_tricks.sliding_window_view(series, size, axis=0)
+    return view.transpose(0, 2, 1)[::stride]
 
 
 def non_overlapping_windows(series: np.ndarray, size: int) -> np.ndarray:
-    """Non-overlapping windows (stride == size)."""
+    """Non-overlapping windows (stride == size); read-only zero-copy view."""
     return sliding_windows(series, size, stride=size)
+
+
+def batched_window_scores(
+    windows: np.ndarray, score_fn, batch_size: int = 64
+) -> np.ndarray:
+    """Apply ``score_fn`` over ``(B, size, features)`` windows in chunks.
+
+    ``score_fn`` maps a batch of windows to one score row per window (any
+    trailing shape); chunking bounds peak memory to ``batch_size`` windows
+    of model activations while producing output identical to a single
+    full-batch call (every model scores windows row-independently).
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    count = len(windows)
+    if count == 0:
+        return np.empty((0,), dtype=np.float64)
+    parts = [
+        np.asarray(score_fn(windows[start : start + batch_size]))
+        for start in range(0, count, batch_size)
+    ]
+    return parts[0] if len(parts) == 1 else np.concatenate(parts, axis=0)
 
 
 def score_series(series: np.ndarray, size: int, score_fn, batch_size: int = 64) -> np.ndarray:
@@ -54,6 +97,9 @@ def score_series(series: np.ndarray, size: int, score_fn, batch_size: int = 64) 
     a final window aligned to the series end covers the tail, from which
     only the previously unscored suffix is kept.  Series shorter than the
     window are scored via a single front-padded window (edge-replicated).
+
+    All windows are zero-copy views into ``series``; the model runs over
+    them in ``batch_size`` chunks (under the model's own ``no_grad``).
 
     Returns
     -------
@@ -70,13 +116,11 @@ def score_series(series: np.ndarray, size: int, score_fn, batch_size: int = 64) 
         return scores
 
     windows = non_overlapping_windows(series, size)
-    for start in range(0, len(windows), batch_size):
-        batch = windows[start : start + batch_size]
-        batch_scores = score_fn(batch)
-        begin = start * size
-        scores[begin : begin + batch.shape[0] * size] = batch_scores.reshape(-1)
-
     covered = len(windows) * size
+    scores[:covered] = batched_window_scores(
+        windows, score_fn, batch_size=batch_size
+    ).reshape(-1)
+
     if covered < time:
         tail_window = series[time - size :][None]
         tail_scores = score_fn(tail_window)[0]

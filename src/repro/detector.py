@@ -109,6 +109,10 @@ class BaseDetector(ABC):
             raise ValueError(
                 f"windows must be (batch, time, features), got shape {windows.shape}"
             )
+        # Validate on entry, exactly as score() does: a NaN window must
+        # raise here rather than flow through streaming/serving as a
+        # silently non-finite score (the detector contract).
+        windows = check_finite_series(windows, name=f"{self.name} windows")
         return np.array([float(self.score(window)[-1]) for window in windows])
 
     def predict(self, series: np.ndarray) -> np.ndarray:

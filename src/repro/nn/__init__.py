@@ -6,8 +6,10 @@ layers, recurrent/convolutional layers for the baselines, and the Adam
 optimiser the paper trains with.
 """
 
-from . import functional
+from . import functional, fused
 from .attention import MultiHeadSelfAttention
+from .dtype import default_dtype, get_default_dtype, set_default_dtype
+from .gradcheck import GradcheckError, gradcheck
 from .layers import (
     GELU,
     GRU,
@@ -42,6 +44,12 @@ __all__ = [
     "Module",
     "Parameter",
     "functional",
+    "fused",
+    "gradcheck",
+    "GradcheckError",
+    "default_dtype",
+    "get_default_dtype",
+    "set_default_dtype",
     "Linear",
     "LayerNorm",
     "Dropout",

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import fused
 from .layers import Dropout, Linear
 from .module import Module
 from .tensor import Tensor
@@ -57,13 +58,29 @@ class MultiHeadSelfAttention(Module):
         k = self._split_heads(self.k_proj(x), batch, time)
         v = self._split_heads(self.v_proj(x), batch, time)
 
-        scores = (q @ k.swapaxes(-1, -2)) * self.scale
-        weights = scores.softmax(axis=-1)
-        self._last_attention = weights.data  # exposed for analysis/tests
-        self._last_attention_tensor = weights if self.keep_attention_graph else None
-        weights = self.attn_dropout(weights)
+        if fused.fused_enabled() and not self.keep_attention_graph:
+            # Fast path: QKᵀ → softmax → (dropout) → ·V in one graph node
+            # with a hand-written backward (see repro.nn.fused).
+            context, weights_data = fused.scaled_dot_product_attention(
+                q, k, v,
+                scale=self.scale,
+                dropout_p=self.attn_dropout.p,
+                training=self.attn_dropout.training,
+                rng=self.attn_dropout.rng,
+            )
+            self._last_attention = weights_data  # exposed for analysis/tests
+            self._last_attention_tensor = None
+        else:
+            # Reference composition; required when the attention weights
+            # must stay on the graph (Anomaly Transformer's association
+            # discrepancy differentiates through them).
+            scores = (q @ k.swapaxes(-1, -2)) * self.scale
+            weights = scores.softmax(axis=-1)
+            self._last_attention = weights.data  # exposed for analysis/tests
+            self._last_attention_tensor = weights if self.keep_attention_graph else None
+            weights = self.attn_dropout(weights)
+            context = weights @ v  # (batch, heads, time, head_dim)
 
-        context = weights @ v  # (batch, heads, time, head_dim)
         merged = context.swapaxes(1, 2).reshape(batch, time, dim)
         return self.out_proj(merged)
 

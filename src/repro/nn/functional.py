@@ -4,12 +4,19 @@ These free functions mirror ``torch.nn.functional`` for the subset of
 operations the TFMAE reproduction needs: activations, normalisation,
 dropout, and the divergence/distance losses used by the paper's
 contrastive objective (Eq. 14-16).
+
+The hot operations (``softmax``, ``log_softmax``, ``gelu``,
+``layer_norm``, ``dropout_residual``) dispatch to the single-node fused
+kernels of :mod:`repro.nn.fused` when those are enabled (the default);
+the multi-node primitive compositions remain available both as the
+fallback and as the equivalence reference for the gradcheck tests.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from . import fused
 from .tensor import Tensor, as_tensor
 
 __all__ = [
@@ -20,6 +27,7 @@ __all__ = [
     "softmax",
     "log_softmax",
     "dropout",
+    "dropout_residual",
     "layer_norm",
     "mse_loss",
     "mae_loss",
@@ -27,8 +35,6 @@ __all__ = [
     "symmetric_kl",
     "binary_cross_entropy",
 ]
-
-_SQRT_2_OVER_PI = float(np.sqrt(2.0 / np.pi))
 
 
 def relu(x: Tensor) -> Tensor:
@@ -43,8 +49,9 @@ def gelu(x: Tensor) -> Tensor:
     autograd engine and matches the approximation used by most Transformer
     implementations.
     """
-    inner = (x + x * x * x * 0.044715) * _SQRT_2_OVER_PI
-    return x * 0.5 * (inner.tanh() + 1.0)
+    if fused.fused_enabled():
+        return fused.gelu(x)
+    return fused.reference_gelu(x)
 
 
 def sigmoid(x: Tensor) -> Tensor:
@@ -56,10 +63,14 @@ def tanh(x: Tensor) -> Tensor:
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    if fused.fused_enabled():
+        return fused.softmax(x, axis=axis)
     return x.softmax(axis=axis)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    if fused.fused_enabled():
+        return fused.log_softmax(x, axis=axis)
     return x.log_softmax(axis=axis)
 
 
@@ -84,12 +95,29 @@ def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator | None
     return x * Tensor(mask)
 
 
+def dropout_residual(
+    x: Tensor,
+    residual: Tensor,
+    p: float,
+    training: bool,
+    rng: np.random.Generator | None = None,
+) -> Tensor:
+    """``residual + dropout(x)`` — the Transformer residual connection.
+
+    Fused into one graph node when the fused kernels are enabled; both
+    paths draw the dropout mask with the same RNG call, so they consume
+    identical random streams.
+    """
+    if fused.fused_enabled():
+        return fused.dropout_residual(x, residual, p, training, rng=rng)
+    return fused.reference_dropout_residual(x, residual, p, training, rng=rng)
+
+
 def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
     """Layer normalisation over the trailing dimension (Eq. 13, ``LN``)."""
-    mu = x.mean(axis=-1, keepdims=True)
-    var = x.var(axis=-1, keepdims=True)
-    normalised = (x - mu) / (var + eps).sqrt()
-    return normalised * weight + bias
+    if fused.fused_enabled():
+        return fused.layer_norm(x, weight, bias, eps=eps)
+    return fused.reference_layer_norm(x, weight, bias, eps=eps)
 
 
 def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
@@ -119,8 +147,8 @@ def kl_divergence(p: Tensor, q: Tensor, axis: int = -1, reduce: bool = True) -> 
         otherwise return the per-position divergence (used for the anomaly
         score in Eq. 16).
     """
-    log_p = p.log_softmax(axis=axis)
-    log_q = q.log_softmax(axis=axis)
+    log_p = log_softmax(p, axis=axis)
+    log_q = log_softmax(q, axis=axis)
     per_position = (log_p.exp() * (log_p - log_q)).sum(axis=axis)
     return per_position.mean() if reduce else per_position
 

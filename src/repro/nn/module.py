@@ -102,9 +102,34 @@ class Module:
     def eval(self) -> "Module":
         return self.train(False)
 
-    def zero_grad(self) -> None:
+    def zero_grad(self, set_to_none: bool = True) -> None:
+        """Clear parameter gradients.
+
+        ``set_to_none=False`` keeps each existing gradient buffer and
+        fills it with zeros in place, so the next backward pass
+        accumulates into the same allocation instead of allocating fresh
+        arrays every training step.  The default drops the buffers,
+        preserving the historical ``grad is None`` contract the
+        optimisers use to skip untouched parameters.
+        """
         for param in self.parameters():
-            param.zero_grad()
+            if set_to_none or param.grad is None:
+                param.zero_grad()
+            else:
+                param.grad.fill(0.0)
+
+    def to_dtype(self, dtype) -> "Module":
+        """Cast every parameter of this module tree to ``dtype`` in place.
+
+        Used by models with a ``compute_dtype`` policy (float32 training
+        and serving); gradients are dropped since they would no longer
+        match the parameter dtype.
+        """
+        resolved = np.dtype(dtype)
+        for param in self.parameters():
+            param.data = param.data.astype(resolved, copy=False)
+            param.grad = None
+        return self
 
     # ------------------------------------------------------------------
     # state dict (serialisation)

@@ -27,6 +27,8 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from .dtype import resolve_dtype
+
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
 # Per-thread: the serving worker pool scores under no_grad() concurrently
@@ -76,7 +78,14 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
-def _as_array(value, dtype=np.float64) -> np.ndarray:
+def _as_array(value, dtype=None) -> np.ndarray:
+    """Coerce to a float array of ``dtype`` (default: the active compute dtype).
+
+    The default is governed by :mod:`repro.nn.dtype` — float64 unless a
+    caller opted into float32 via ``set_default_dtype`` or a
+    ``default_dtype`` context (e.g. a model with ``compute_dtype``).
+    """
+    dtype = resolve_dtype(dtype)
     if isinstance(value, np.ndarray):
         if value.dtype == dtype:
             return value
@@ -96,15 +105,17 @@ class Tensor:
         :meth:`backward` is called on a downstream scalar.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name", "_topo")
 
-    def __init__(self, data, requires_grad: bool = False, name: str | None = None):
-        self.data: np.ndarray = _as_array(data)
+    def __init__(self, data, requires_grad: bool = False, name: str | None = None,
+                 dtype=None):
+        self.data: np.ndarray = _as_array(data, dtype=dtype)
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad) and is_grad_enabled()
         self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
         self.name = name
+        self._topo: list[Tensor] | None = None
 
     # ------------------------------------------------------------------
     # basic properties
@@ -183,9 +194,11 @@ class Tensor:
         if not self.requires_grad:
             return
         if self.grad is None:
-            self.grad = grad.copy() if isinstance(grad, np.ndarray) else np.asarray(grad)
+            # Private, owned buffer: later accumulations add into it
+            # in place instead of allocating a fresh sum array each time.
+            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
         else:
-            self.grad = self.grad + grad
+            np.add(self.grad, grad, out=self.grad)
 
     def detach(self) -> "Tensor":
         """Return a view of the data that is cut from the autograd graph.
@@ -216,25 +229,30 @@ class Tensor:
             if self.data.size != 1:
                 raise RuntimeError("backward() without an explicit gradient requires a scalar output")
             grad = np.ones_like(self.data)
-        grad = _as_array(grad)
+        grad = _as_array(grad, dtype=self.data.dtype)
 
         # Topological order via iterative DFS (avoids recursion limits on
-        # deep graphs such as unrolled RNNs).
-        topo: list[Tensor] = []
-        visited: set[int] = set()
-        stack: list[tuple[Tensor, bool]] = [(self, False)]
-        while stack:
-            node, processed = stack.pop()
-            if processed:
-                topo.append(node)
-                continue
-            if id(node) in visited:
-                continue
-            visited.add(id(node))
-            stack.append((node, True))
-            for parent in node._parents:
-                if id(parent) not in visited and parent.requires_grad:
-                    stack.append((parent, False))
+        # deep graphs such as unrolled RNNs).  The order is cached on this
+        # tensor so a second backward over the same retained graph (e.g.
+        # gradient accumulation or per-term diagnostics) skips the walk.
+        topo = self._topo
+        if topo is None:
+            topo = []
+            visited: set[int] = set()
+            stack: list[tuple[Tensor, bool]] = [(self, False)]
+            while stack:
+                node, processed = stack.pop()
+                if processed:
+                    topo.append(node)
+                    continue
+                if id(node) in visited:
+                    continue
+                visited.add(id(node))
+                stack.append((node, True))
+                for parent in node._parents:
+                    if id(parent) not in visited and parent.requires_grad:
+                        stack.append((parent, False))
+            self._topo = topo
 
         self._accumulate(grad)
         for node in reversed(topo):

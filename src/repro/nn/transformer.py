@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import functional as F
 from .attention import MultiHeadSelfAttention
 from .layers import Dropout, GELU, LayerNorm, Linear, Sequential
 from .module import Module
@@ -74,8 +75,16 @@ class TransformerLayer(Module):
         self.dropout = Dropout(dropout, rng)
 
     def forward(self, x: Tensor) -> Tensor:
-        attended = self.norm1(x + self.dropout(self.attention(x)))
-        return self.norm2(attended + self.dropout(self.ffn(attended)))
+        # Residual adds go through the fused dropout+residual kernel (one
+        # graph node instead of mask-multiply + add); `self.dropout` keeps
+        # owning the probability/RNG/mode state.
+        drop = self.dropout
+        attended = self.norm1(
+            F.dropout_residual(self.attention(x), x, drop.p, drop.training, rng=drop.rng)
+        )
+        return self.norm2(
+            F.dropout_residual(self.ffn(attended), attended, drop.p, drop.training, rng=drop.rng)
+        )
 
 
 class TransformerStack(Module):

@@ -247,7 +247,14 @@ class MicroBatcher:
                 )
             try:
                 detector = self.detector_for(model_key)
-                scores = detector.score_last(np.stack([r.window for r in requests]))
+                # score_last is the shared chunked scorer (see
+                # repro.datasets.windows.batched_window_scores); a batch
+                # of one rides a zero-copy view instead of a stack.
+                if len(requests) == 1:
+                    windows = requests[0].window[None]
+                else:
+                    windows = np.stack([r.window for r in requests])
+                scores = detector.score_last(windows)
             except BaseException as error:  # noqa: BLE001 — forwarded to clients
                 for request in requests:
                     if not request.future.set_running_or_notify_cancel():

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .datasets.windows import sliding_windows
 from .detector import BaseDetector
 from .robustness.faults import FaultPolicy, sanitize_observation
 
@@ -259,44 +260,71 @@ class StreamingDetector:
                 "or pass a FaultPolicy to degrade gracefully"
             )
 
-        # Ingest: grow the buffer per observation, snapshotting the
-        # rolling window wherever a score is due.
+        # Ingest: extend the rolling buffer, then cut every due scoring
+        # window as a zero-copy view into one contiguous history array
+        # (buffer prefix + this batch) instead of snapshotting the deque
+        # once per observation — the snapshots were O(batch * context)
+        # copies, the views are O(1).
         first_index = self._count
-        scored_at: list[int] = []          # offsets into this batch
-        windows: list[np.ndarray] = []
         if self._dimension is None:
             self._dimension = dimension
-        for offset, row in enumerate(observations):
+        prefix_len = len(self._buffer)
+        if prefix_len:
+            history = np.concatenate([np.stack(tuple(self._buffer)), observations])
+        else:
+            history = observations
+        for row in observations:
             self._buffer.append(row)
-            self._count += 1
-            if self._count >= self.warmup:
-                scored_at.append(offset)
-                windows.append(np.stack(self._buffer))
+        self._count += len(observations)
 
-        # Score all snapshots, batched per window length (lengths vary
+        offsets = np.arange(len(observations))
+        ends = prefix_len + offsets + 1                    # window end in history
+        due = (first_index + offsets + 1) >= self.warmup   # post-warmup positions
+        scored_at = [int(offset) for offset in offsets[due]]
+        lengths = np.minimum(ends, self.context)           # rolling window length
+
+        # Score everything due, batched per window length (lengths vary
         # only while the buffer is still filling).
-        scores = np.full(len(windows), np.nan)
-        by_length: dict[int, list[int]] = {}
-        for position, window in enumerate(windows):
-            by_length.setdefault(len(window), []).append(position)
+        scores = np.full(len(scored_at), np.nan)
+        position_of = {offset: position for position, offset in enumerate(scored_at)}
         try:
-            for positions in by_length.values():
-                batch = np.stack([windows[position] for position in positions])
+            # Full-context windows are consecutive, so they form one
+            # contiguous slice of the sliding-window view: zero copies.
+            full = [offset for offset in scored_at if lengths[offset] == self.context]
+            if full:
+                view = sliding_windows(history, self.context, stride=1)
+                start = int(ends[full[0]]) - self.context
+                batch_scores = self.detector.score_last(view[start : start + len(full)])
+                for offset, value in zip(full, batch_scores):
+                    scores[position_of[offset]] = value
+            by_length: dict[int, list[int]] = {}
+            for offset in scored_at:
+                if lengths[offset] < self.context:
+                    by_length.setdefault(int(lengths[offset]), []).append(offset)
+            for length, group in by_length.items():
+                batch = np.stack(
+                    [history[ends[offset] - length : ends[offset]] for offset in group]
+                )
                 batch_scores = self.detector.score_last(batch)
-                scores[positions] = batch_scores
-            if windows and not np.all(np.isfinite(scores)):
+                for offset, value in zip(group, batch_scores):
+                    scores[position_of[offset]] = value
+            if scored_at and not np.all(np.isfinite(scores)):
                 raise ValueError("non-finite score in batched streaming update")
         except Exception:
             # Primary failed mid-batch.  Replay the scoring serially via
             # the per-window state machine so errors surface (policy is
             # None here) at the exact observation the serial loop would
             # blame.  Ingestion already happened; scores are recomputed
-            # from the snapshots, which is deterministic.
+            # from the window views, which is deterministic.
+            windows = [
+                history[int(ends[offset] - lengths[offset]) : int(ends[offset])]
+                for offset in scored_at
+            ]
             return self._assemble_serial(first_index, observations, scored_at, windows)
 
         threshold = float(self.detector.threshold_)
         events: list[StreamEvent] = []
-        scored = {offset: position for position, offset in enumerate(scored_at)}
+        scored = position_of
         for offset in range(len(observations)):
             index = first_index + offset
             position = scored.get(offset)

@@ -8,6 +8,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.datasets import non_overlapping_windows, score_series, sliding_windows
+from repro.datasets.windows import batched_window_scores
 
 
 class TestSlidingWindows:
@@ -36,6 +37,87 @@ class TestSlidingWindows:
             sliding_windows(rng.normal(size=(10, 1)), 0, 1)
         with pytest.raises(ValueError):
             sliding_windows(rng.normal(size=10), 4, 1)
+
+
+class TestZeroCopyViews:
+    """Regression: window extraction must not materialise copies."""
+
+    def test_sliding_windows_is_a_view(self, rng):
+        series = rng.normal(size=(50, 3))
+        windows = sliding_windows(series, size=10, stride=1)
+        assert windows.base is not None  # strided view, not a copy
+        assert not windows.flags.writeable
+
+    def test_strided_windows_stay_views(self, rng):
+        series = rng.normal(size=(60, 2))
+        windows = sliding_windows(series, size=8, stride=4)
+        assert windows.base is not None
+        assert not windows.flags.writeable
+
+    def test_view_values_match_manual_extraction(self, rng):
+        series = rng.normal(size=(30, 2))
+        windows = sliding_windows(series, size=5, stride=3)
+        manual = np.stack([series[s : s + 5] for s in range(0, 26, 3)])
+        np.testing.assert_array_equal(np.asarray(windows), manual)
+
+    def test_view_tracks_source_mutation(self, rng):
+        """A true view sees later writes to the source series."""
+        series = rng.normal(size=(12, 1))
+        windows = sliding_windows(series, size=4, stride=1)
+        series[0, 0] = 123.0
+        assert windows[0, 0, 0] == 123.0
+
+    def test_mutating_consumer_must_copy(self, rng):
+        windows = sliding_windows(rng.normal(size=(10, 1)), 4, 1)
+        with pytest.raises((ValueError, RuntimeError)):
+            windows[0, 0, 0] = 1.0
+        copied = windows.copy()
+        copied[0, 0, 0] = 1.0  # the documented escape hatch
+
+    def test_fancy_indexing_yields_writable_batch(self, rng):
+        """Training gathers batches by fancy index, which copies."""
+        windows = sliding_windows(rng.normal(size=(20, 2)), 5, 1)
+        batch = windows[np.array([0, 3, 7])]
+        assert batch.flags.writeable
+        assert batch.base is None
+
+
+class TestBatchedWindowScores:
+    @staticmethod
+    def _sum_score(batch: np.ndarray) -> np.ndarray:
+        return batch.sum(axis=(1, 2))
+
+    def test_matches_single_call(self, rng):
+        windows = rng.normal(size=(37, 6, 2))
+        chunked = batched_window_scores(windows, self._sum_score, batch_size=5)
+        np.testing.assert_array_equal(chunked, self._sum_score(windows))
+
+    def test_matches_per_window_loop(self, rng):
+        windows = rng.normal(size=(11, 4, 3))
+        chunked = batched_window_scores(windows, self._sum_score, batch_size=4)
+        loop = np.array([self._sum_score(w[None])[0] for w in windows])
+        np.testing.assert_array_equal(chunked, loop)
+
+    def test_preserves_trailing_shape(self, rng):
+        windows = rng.normal(size=(9, 5, 2))
+        per_position = batched_window_scores(
+            windows, lambda b: b[:, :, 0], batch_size=2
+        )
+        assert per_position.shape == (9, 5)
+
+    def test_empty_input(self):
+        out = batched_window_scores(np.empty((0, 5, 2)), self._sum_score)
+        assert out.shape == (0,)
+
+    def test_invalid_batch_size(self, rng):
+        with pytest.raises(ValueError):
+            batched_window_scores(rng.normal(size=(3, 2, 1)), self._sum_score, 0)
+
+    def test_accepts_read_only_views(self, rng):
+        series = rng.normal(size=(40, 2))
+        windows = sliding_windows(series, size=8, stride=8)
+        scores = batched_window_scores(windows, self._sum_score, batch_size=2)
+        np.testing.assert_array_equal(scores, self._sum_score(np.asarray(windows)))
 
 
 class TestScoreSeries:

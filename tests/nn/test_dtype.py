@@ -1,0 +1,79 @@
+"""The compute-dtype policy: global default, scoped override, tensor wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+
+@pytest.fixture(autouse=True)
+def _restore_default():
+    saved = nn.get_default_dtype()
+    yield
+    nn.set_default_dtype(saved)
+
+
+class TestPolicy:
+    def test_default_is_float64(self):
+        assert nn.get_default_dtype() == np.float64
+        assert Tensor([1.0]).data.dtype == np.float64
+
+    def test_set_default(self):
+        nn.set_default_dtype(np.float32)
+        assert nn.get_default_dtype() == np.float32
+        assert Tensor([1.0]).data.dtype == np.float32
+
+    def test_set_accepts_strings(self):
+        nn.set_default_dtype("float32")
+        assert nn.get_default_dtype() == np.float32
+
+    def test_rejects_non_float(self):
+        with pytest.raises(ValueError):
+            nn.set_default_dtype(np.int64)
+        with pytest.raises(ValueError):
+            nn.set_default_dtype(np.float16)
+
+    def test_context_manager_scopes_and_nests(self):
+        with nn.default_dtype(np.float32):
+            assert Tensor([1.0]).data.dtype == np.float32
+            with nn.default_dtype(np.float64):
+                assert Tensor([1.0]).data.dtype == np.float64
+            assert Tensor([1.0]).data.dtype == np.float32
+        assert Tensor([1.0]).data.dtype == np.float64
+
+    def test_context_restores_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with nn.default_dtype(np.float32):
+                raise RuntimeError("boom")
+        assert Tensor([1.0]).data.dtype == np.float64
+
+    def test_explicit_dtype_overrides_policy(self):
+        with nn.default_dtype(np.float32):
+            assert Tensor([1.0], dtype=np.float64).data.dtype == np.float64
+
+    def test_existing_array_recast_only_when_needed(self):
+        array = np.ones(3, dtype=np.float64)
+        assert Tensor(array).data is array  # no copy at the default dtype
+        with nn.default_dtype(np.float32):
+            assert Tensor(array).data.dtype == np.float32
+
+
+class TestComputeInPolicy:
+    def test_ops_stay_in_float32(self):
+        with nn.default_dtype(np.float32):
+            x = Tensor(np.ones((2, 3), dtype=np.float32), requires_grad=True)
+            out = (x * 2.0 + 1.0).sum()
+            assert out.data.dtype == np.float32
+            out.backward()
+            assert x.grad.dtype == np.float32
+
+    def test_module_to_dtype(self):
+        layer = nn.Linear(4, 2, np.random.default_rng(0))
+        layer.to_dtype(np.float32)
+        assert all(p.data.dtype == np.float32 for p in layer.parameters())
+        with nn.default_dtype(np.float32):
+            out = layer(Tensor(np.ones((3, 4), dtype=np.float32)))
+        assert out.data.dtype == np.float32

@@ -1,0 +1,139 @@
+"""The gradcheck harness itself, plus a sweep over every tensor primitive.
+
+:func:`repro.nn.gradcheck` is what certifies the hand-written fused
+backwards, so it must (a) accept every correct primitive in the engine
+and (b) actually reject a wrong gradient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import GradcheckError, Tensor, gradcheck
+
+
+def _t(rng, shape, scale=1.0, shift=0.0):
+    return Tensor(rng.normal(size=shape) * scale + shift, requires_grad=True)
+
+
+class TestHarness:
+    def test_accepts_correct_gradient(self, rng):
+        assert gradcheck(lambda t: (t * t).sum(), _t(rng, (4,)))
+
+    def test_rejects_wrong_gradient(self, rng):
+        """A deliberately broken backward must raise GradcheckError."""
+
+        def bad_square(x: Tensor) -> Tensor:
+            def backward(grad):
+                x._accumulate(grad * x.data)  # missing the factor of 2
+
+            return Tensor._make(x.data**2, (x,), backward)
+
+        with pytest.raises(GradcheckError):
+            gradcheck(lambda t: bad_square(t).sum(), _t(rng, (3,)))
+
+    def test_rejects_float32_inputs(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True, dtype=np.float32)
+        with pytest.raises(ValueError, match="float64"):
+            gradcheck(lambda t: t.sum(), x)
+
+    def test_requires_a_grad_input(self, rng):
+        with pytest.raises(ValueError, match="requires_grad"):
+            gradcheck(lambda t: t.sum(), Tensor(rng.normal(size=(3,))))
+
+    def test_requires_inputs(self):
+        with pytest.raises(ValueError):
+            gradcheck(lambda: Tensor(1.0))
+
+    def test_non_scalar_outputs_projected(self, rng):
+        """Matrix-valued outputs exercise the full Jacobian via projection."""
+        assert gradcheck(lambda t: t * t, _t(rng, (3, 4)))
+
+    def test_skips_non_grad_inputs(self, rng):
+        constant = Tensor(rng.normal(size=(4,)))
+        assert gradcheck(lambda a, b: (a * b).sum(), _t(rng, (4,)), constant)
+
+
+class TestTensorPrimitives:
+    """Every autograd primitive validated by finite differences."""
+
+    def test_add_mul_broadcast(self, rng):
+        assert gradcheck(lambda a, b: a + b * 2.0, _t(rng, (3, 4)), _t(rng, (4,)))
+
+    def test_sub_neg(self, rng):
+        assert gradcheck(lambda a, b: a - b, _t(rng, (2, 3)), _t(rng, (3,)))
+
+    def test_div(self, rng):
+        assert gradcheck(
+            lambda a, b: a / b, _t(rng, (3,)), _t(rng, (3,), scale=0.2, shift=2.0)
+        )
+
+    def test_pow(self, rng):
+        assert gradcheck(lambda t: t**3, _t(rng, (4,)))
+
+    def test_exp_log(self, rng):
+        assert gradcheck(lambda t: t.exp().log(), _t(rng, (4,)))
+
+    def test_sqrt(self, rng):
+        assert gradcheck(lambda t: t.sqrt(), _t(rng, (4,), scale=0.3, shift=2.0))
+
+    def test_tanh_sigmoid(self, rng):
+        assert gradcheck(lambda t: t.tanh() + t.sigmoid(), _t(rng, (5,)))
+
+    def test_relu_abs(self, rng):
+        # Shift away from the kink at zero, where finite differences lie.
+        assert gradcheck(lambda t: t.relu() + t.abs(), _t(rng, (5,), shift=3.0))
+
+    def test_clip(self, rng):
+        assert gradcheck(lambda t: t.clip(-0.5, 0.5), _t(rng, (6,), scale=2.0))
+
+    def test_sum_mean_var(self, rng):
+        assert gradcheck(
+            lambda t: t.sum(axis=0) + t.mean(axis=1) + t.var(axis=1),
+            _t(rng, (3, 3)),
+        )
+
+    def test_max(self, rng):
+        assert gradcheck(lambda t: t.max(axis=-1), _t(rng, (3, 5)))
+
+    def test_matmul(self, rng):
+        assert gradcheck(lambda a, b: a @ b, _t(rng, (3, 4)), _t(rng, (4, 2)))
+
+    def test_batched_matmul(self, rng):
+        assert gradcheck(
+            lambda a, b: a @ b, _t(rng, (2, 3, 4)), _t(rng, (2, 4, 2))
+        )
+
+    def test_transpose_reshape(self, rng):
+        assert gradcheck(lambda t: t.transpose(1, 0).reshape(6), _t(rng, (2, 3)))
+
+    def test_getitem(self, rng):
+        assert gradcheck(lambda t: t[1:, ::2], _t(rng, (3, 4)))
+
+    def test_concat_stack(self, rng):
+        assert gradcheck(
+            lambda a, b: Tensor.concat([a, b], axis=0) @ Tensor.stack([a, b]).reshape(2, 6),
+            _t(rng, (3, 2)),
+            _t(rng, (3, 2)),
+        )
+
+    def test_scatter(self, rng):
+        index = (np.array([0, 2]),)
+        assert gradcheck(
+            lambda t: Tensor.scatter(t, index, (4, 3)), _t(rng, (2, 3))
+        )
+
+    def test_where(self, rng):
+        condition = np.array([True, False, True, False])
+        assert gradcheck(
+            lambda a, b: Tensor.where(condition, a, b),
+            _t(rng, (4,)),
+            _t(rng, (4,)),
+        )
+
+    def test_softmax_composition(self, rng):
+        assert gradcheck(lambda t: t.softmax(axis=-1), _t(rng, (3, 4)))
+
+    def test_log_softmax_composition(self, rng):
+        assert gradcheck(lambda t: t.log_softmax(axis=-1), _t(rng, (3, 4)))

@@ -74,3 +74,39 @@ class TestBaseDetectorContract:
         test[[7, 42]] = 50.0
         labels = detector.predict(test)
         assert labels[7] == 1 and labels[42] == 1
+
+
+class TestScoreLastContract:
+    """score_last: batched == sequential, and inputs are validated."""
+
+    def _fitted(self, rng):
+        return _MeanDistanceDetector().fit(rng.normal(size=(50, 2)))
+
+    def test_matches_sequential_scoring(self, rng):
+        detector = self._fitted(rng)
+        windows = rng.normal(size=(7, 10, 2))
+        batched = detector.score_last(windows)
+        sequential = np.array([detector.score(w)[-1] for w in windows])
+        np.testing.assert_array_equal(batched, sequential)
+
+    def test_single_window_promoted(self, rng):
+        detector = self._fitted(rng)
+        window = rng.normal(size=(10, 2))
+        assert detector.score_last(window).shape == (1,)
+
+    def test_rejects_wrong_rank(self, rng):
+        with pytest.raises(ValueError, match="batch, time, features"):
+            self._fitted(rng).score_last(rng.normal(size=(2, 3, 4, 5)))
+
+    def test_rejects_non_finite_windows(self, rng):
+        """Regression: a NaN window must raise on entry, exactly like
+        score(), instead of flowing through streaming/serving as a
+        silently non-finite score."""
+        detector = self._fitted(rng)
+        windows = rng.normal(size=(3, 10, 2))
+        windows[1, 4, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            detector.score_last(windows)
+        windows[1, 4, 0] = np.inf
+        with pytest.raises(ValueError):
+            detector.score_last(windows)
