@@ -1,6 +1,6 @@
 # Convenience targets for the TFMAE reproduction.
 
-.PHONY: install test bench bench-tables bench-figures perf robustness serve serve-bench examples clean
+.PHONY: install test lint check bench bench-tables bench-figures perf robustness serve serve-bench examples clean
 
 install:
 	python setup.py develop
@@ -10,6 +10,13 @@ test:
 
 test-verbose:
 	pytest tests/ -v
+
+lint:
+	PYTHONPATH=src python -m repro analyze lint
+
+check:
+	PYTHONPATH=src python -m repro analyze --all
+	PYTHONPATH=src python -m pytest -x -q
 
 bench:
 	pytest benchmarks/ --benchmark-only -s

@@ -1,0 +1,112 @@
+"""Overhead of the repro.analysis runtime sanitizers.
+
+Not a paper figure: measures what the analysis layer costs so the
+documented budgets stay honest —
+
+* ``detect_anomaly`` wrapping a full TFMAE training step (forward +
+  backward + Adam step) must stay **under 3x** the plain step
+  (``docs/analysis.md`` quotes the committed numbers);
+* ``preflight_model`` on the full paper configuration must stay **under
+  100 ms**, the budget for running it at every ``Trainer.fit`` startup.
+
+Run with pytest-benchmark rounds:
+
+    pytest benchmarks/bench_analysis_overhead.py --benchmark-only
+
+or produce the committed table (``results/analysis_overhead.txt``):
+
+    PYTHONPATH=src python benchmarks/bench_analysis_overhead.py
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis import detect_anomaly, preflight_model
+from repro.core.config import TFMAEConfig
+from repro.core.model import TFMAEModel
+from repro.nn.optim import Adam
+
+_RNG = np.random.default_rng(0)
+
+#: Mid-size training config (the `python -m repro run` default scale).
+_CONFIG = TFMAEConfig(window_size=100, d_model=32, num_layers=2, num_heads=4,
+                      batch_size=16)
+_FEATURES = 5
+_BATCH = _RNG.normal(size=(_CONFIG.batch_size, _CONFIG.window_size, _FEATURES))
+
+
+def _make_trainer_pieces():
+    model = TFMAEModel(n_features=_FEATURES, config=_CONFIG)
+    optimizer = Adam(model.parameters(), lr=_CONFIG.learning_rate)
+    return model, optimizer
+
+
+def _step(model, optimizer) -> float:
+    loss, _ = model.loss(_BATCH)
+    optimizer.zero_grad()
+    loss.backward()
+    optimizer.step()
+    return loss.item()
+
+
+def _sanitized_step(model, optimizer) -> float:
+    with detect_anomaly():
+        return _step(model, optimizer)
+
+
+def test_training_step_plain(benchmark):
+    model, optimizer = _make_trainer_pieces()
+    benchmark(_step, model, optimizer)
+
+
+def test_training_step_with_detect_anomaly(benchmark):
+    model, optimizer = _make_trainer_pieces()
+    benchmark(_sanitized_step, model, optimizer)
+
+
+def test_preflight_full_paper_config(benchmark):
+    model = TFMAEModel(n_features=_FEATURES)  # paper defaults: D=128, L=3
+    preflight_model(model)  # warm the BLAS/kernel paths once
+    benchmark(preflight_model, model)
+
+
+def _timeit(fn, *args, repeat: int = 20) -> float:
+    fn(*args)  # warm-up
+    start = time.perf_counter()
+    for _ in range(repeat):
+        fn(*args)
+    return (time.perf_counter() - start) / repeat
+
+
+def main() -> str:
+    model, optimizer = _make_trainer_pieces()
+    plain = _timeit(_step, model, optimizer)
+    sanitized = _timeit(_sanitized_step, model, optimizer)
+    paper_model = TFMAEModel(n_features=_FEATURES)
+    preflight = _timeit(preflight_model, paper_model)
+
+    lines = [
+        "analysis-layer overhead "
+        f"(window={_CONFIG.window_size}, D={_CONFIG.d_model}, "
+        f"L={_CONFIG.num_layers}, batch={_CONFIG.batch_size}, "
+        f"N={_FEATURES})",
+        "",
+        f"{'training step (plain)':<36} {plain * 1e3:8.2f} ms",
+        f"{'training step (detect_anomaly)':<36} {sanitized * 1e3:8.2f} ms",
+        f"{'detect_anomaly overhead':<36} {sanitized / plain:8.2f} x  (budget < 3x)",
+        "",
+        f"{'preflight_model (paper config)':<36} {preflight * 1e3:8.2f} ms  (budget < 100 ms)",
+    ]
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    table = main()
+    print(table)
+    out = Path(__file__).parent / "results" / "analysis_overhead.txt"
+    out.write_text(table + "\n", encoding="utf-8")
+    print(f"\nwrote {out}")

@@ -1,0 +1,58 @@
+"""Static analysis and runtime sanitizers for the reproduction.
+
+Three coordinated layers (see ``docs/analysis.md``):
+
+* :mod:`repro.analysis.shapecheck` — pre-flight graph tracing that
+  catches broadcast mismatches, dtype-policy violations, and grad-flow
+  breaks before a long run starts (wired into ``Trainer.fit`` and
+  registry publish via ``TFMAEConfig.preflight``);
+* :mod:`repro.analysis.anomaly` — ``detect_anomaly()``, a NaN/Inf
+  sanitizer that names the op, creation site, and tensor stats of the
+  first non-finite value in a forward or backward pass;
+* :mod:`repro.analysis.lint` — a stdlib-ast linter enforcing repo
+  invariants (seeded RNG discipline, no in-place autograd mutation,
+  locked module state in threaded code, ...) with per-line
+  ``# repro: noqa[RULE]`` suppression.
+
+CLI: ``python -m repro analyze [lint|shapecheck] [--all] [--json]``.
+"""
+
+from .anomaly import AnomalyError, detect_anomaly, tensor_stats
+from .lint import (
+    LintViolation,
+    format_json,
+    format_text,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from .rules import ALL_RULES
+from .shapecheck import (
+    OpRecord,
+    ShapeCheckError,
+    ShapeIssue,
+    TraceReport,
+    check_grad_flow,
+    preflight_model,
+    trace,
+)
+
+__all__ = [
+    "AnomalyError",
+    "detect_anomaly",
+    "tensor_stats",
+    "LintViolation",
+    "ALL_RULES",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "format_text",
+    "format_json",
+    "OpRecord",
+    "ShapeIssue",
+    "ShapeCheckError",
+    "TraceReport",
+    "trace",
+    "check_grad_flow",
+    "preflight_model",
+]

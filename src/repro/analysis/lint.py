@@ -1,0 +1,99 @@
+"""Repo-invariant linter driver: parse, apply rules, report.
+
+Usage::
+
+    from repro.analysis import lint_paths, format_text
+    violations = lint_paths(["src/repro"])
+    print(format_text(violations))
+
+or from the command line::
+
+    python -m repro analyze lint [--json] [path ...]
+
+Suppression
+-----------
+Append ``# repro: noqa[CODE]`` (comma-separated for several codes) to
+the offending line.  Suppressions are per-line and per-rule — there is
+deliberately no file-level or catch-all form, and every suppression in
+``src/repro`` carries a justification comment explaining why the
+invariant does not apply at that site.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from pathlib import Path
+
+from .rules import ALL_RULES, LintViolation
+
+__all__ = [
+    "LintViolation",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "format_text",
+    "format_json",
+]
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\[([A-Za-z0-9_,\s]+)\]")
+
+
+def _suppressions(source: str) -> dict[int, frozenset]:
+    """Map of 1-based line number -> rule codes suppressed on that line."""
+    suppressed: dict[int, frozenset] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(line)
+        if match:
+            codes = frozenset(
+                code.strip() for code in match.group(1).split(",") if code.strip()
+            )
+            suppressed[lineno] = codes
+    return suppressed
+
+
+def lint_source(source: str, path: str, rules=ALL_RULES) -> list[LintViolation]:
+    """Lint one module's source text; ``path`` scopes path-bound rules."""
+    tree = ast.parse(source, filename=path)
+    suppressed = _suppressions(source)
+    violations = []
+    for rule in rules:
+        if not rule.applies_to(path):
+            continue
+        for violation in rule.check(tree, path):
+            if violation.rule in suppressed.get(violation.line, frozenset()):
+                continue
+            violations.append(violation)
+    return violations
+
+
+def lint_file(path: str | Path, rules=ALL_RULES) -> list[LintViolation]:
+    file_path = Path(path)
+    return lint_source(file_path.read_text(encoding="utf-8"), str(file_path), rules)
+
+
+def lint_paths(paths, rules=ALL_RULES) -> list[LintViolation]:
+    """Lint files and/or directory trees; results sorted by location."""
+    violations: list[LintViolation] = []
+    for path in paths:
+        target = Path(path)
+        if target.is_dir():
+            files = sorted(target.rglob("*.py"))
+        else:
+            files = [target]
+        for file_path in files:
+            violations.extend(lint_file(file_path, rules))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return violations
+
+
+def format_text(violations) -> str:
+    """One `path:line:col: CODE message` line per violation."""
+    lines = [violation.format() for violation in violations]
+    lines.append(f"{len(violations)} violation(s)" if violations else "clean")
+    return "\n".join(lines)
+
+
+def format_json(violations) -> str:
+    return json.dumps([violation.to_dict() for violation in violations], indent=2)

@@ -1,0 +1,27 @@
+"""Repo-invariant lint rules (stdlib-ast based).
+
+Each rule encodes an invariant this codebase relies on but Python cannot
+enforce — see ``docs/analysis.md`` for the catalogue with rationale.
+Adding a rule: subclass :class:`~repro.analysis.rules.base.Rule`, give it
+a unique ``code``, and append an instance to :data:`ALL_RULES`.
+"""
+
+from .base import LintViolation, Rule
+from .detach import DetachRule
+from .dtype import Float64Rule
+from .exceptions import BareExceptRule
+from .mutation import InPlaceMutationRule
+from .rng import GlobalRandomRule
+from .state import UnlockedStateRule
+
+__all__ = ["LintViolation", "Rule", "ALL_RULES"]
+
+#: Every active rule, instantiated once; order fixes report ordering.
+ALL_RULES: tuple[Rule, ...] = (
+    GlobalRandomRule(),
+    InPlaceMutationRule(),
+    UnlockedStateRule(),
+    BareExceptRule(),
+    DetachRule(),
+    Float64Rule(),
+)

@@ -1,0 +1,72 @@
+"""Shared machinery for lint rules."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+__all__ = ["LintViolation", "Rule", "dotted_name"]
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class Rule:
+    """One repo invariant checked over a module's AST.
+
+    Subclasses set ``code`` (stable identifier used in reports and
+    ``# repro: noqa[CODE]`` suppressions) and ``summary``, and implement
+    :meth:`check`.  :meth:`applies_to` scopes the rule to a path subset;
+    the default is every file under the linted tree.
+    """
+
+    code: str = ""
+    summary: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        return True
+
+    def check(self, tree: ast.Module, path: str):
+        """Yield :class:`LintViolation` for every hit in ``tree``."""
+        raise NotImplementedError
+
+    def violation(self, path: str, node: ast.AST, message: str) -> LintViolation:
+        return LintViolation(
+            rule=self.code,
+            path=path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

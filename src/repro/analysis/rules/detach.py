@@ -1,0 +1,63 @@
+"""DET001: no silent graph detach via ``Tensor(other.data)``.
+
+Wrapping an existing tensor's buffer in a fresh ``Tensor`` (or
+``as_tensor``) creates a node with no parents: gradients stop there
+*silently* — training appears to run but a whole subgraph never learns
+(the grad-flow break :mod:`repro.analysis.shapecheck` hunts at runtime;
+this rule catches it at review time).  When detaching is intended, say
+so: call ``.detach()``, whose name documents the intent and which this
+rule whitelists (any call inside a function literally named ``detach``
+is exempt, so the canonical implementation site stays clean).
+
+Numeric-only uses of ``.data`` (reading values for metrics, shapes,
+serialisation) are fine — the rule only fires when the buffer is fed
+back into a ``Tensor`` constructor.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Rule, dotted_name
+
+_CONSTRUCTORS = frozenset({"Tensor", "as_tensor", "nn.Tensor", "tensor.Tensor"})
+
+
+def _reads_data(node: ast.AST) -> bool:
+    return any(
+        isinstance(sub, ast.Attribute) and sub.attr == "data"
+        for sub in ast.walk(node)
+    )
+
+
+class DetachRule(Rule):
+    code = "DET001"
+    summary = "Tensor(x.data) silently detaches the autograd graph"
+
+    def check(self, tree: ast.Module, path: str):
+        # Track enclosing function names so `def detach(...)` bodies are
+        # whitelisted — the one sanctioned construction site.
+        stack: list[str] = []
+
+        def visit(node: ast.AST):
+            is_func = isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            if is_func:
+                stack.append(node.name)
+            if (
+                isinstance(node, ast.Call)
+                and dotted_name(node.func) in _CONSTRUCTORS
+                and any(_reads_data(arg) for arg in node.args)
+                and "detach" not in stack
+            ):
+                yield self.violation(
+                    path, node,
+                    "re-wrapping a .data buffer in Tensor() drops the graph "
+                    "silently; call .detach() to document the cut, or keep "
+                    "the original tensor",
+                )
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child)
+            if is_func:
+                stack.pop()
+
+        yield from visit(tree)

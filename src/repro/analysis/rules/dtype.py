@@ -1,0 +1,83 @@
+"""F64001: no float64 pinning inside compute_dtype-scoped paths.
+
+The model's ``compute_dtype`` policy (see ``nn/dtype.py`` and
+``docs/performance.md``) promises that everything between Tensor
+construction and score extraction runs in ONE dtype, chosen per model.
+An ``astype(np.float64, ...)`` or ``dtype=np.float64`` pin inside a
+policy-scoped file silently re-promotes a float32 path — correctness
+survives but the 2x memory/throughput win evaporates, and mixed-dtype
+ops appear downstream (which :mod:`repro.analysis.shapecheck` then
+flags at trace time).
+
+Scope: the nn compute kernels and the core model — the files whose code
+executes under ``nn.default_dtype(compute_dtype)``.  Sanctioned float64
+domains are *excluded* from the scope: ``nn/dtype.py`` itself,
+``gradcheck`` (finite differences need float64), the maskers (FFT
+analysis happens outside the graph), and score post-processing (scores
+are float64 by contract — suppress those sites with a justification).
+
+Dtype *comparisons* (``x.dtype == np.float64``) are policy dispatch, not
+pinning, and do not fire the rule — only ``astype`` arguments and
+``dtype=`` keywords do.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Rule, dotted_name
+
+_FLOAT64_NAMES = frozenset({"np.float64", "numpy.float64"})
+
+#: Files executing under the compute_dtype policy.
+_SCOPED_SUFFIXES = (
+    "nn/functional.py",
+    "nn/fused.py",
+    "nn/attention.py",
+    "nn/transformer.py",
+    "nn/layers.py",
+    "core/model.py",
+)
+
+
+def _is_float64(node: ast.AST) -> bool:
+    if dotted_name(node) in _FLOAT64_NAMES:
+        return True
+    return isinstance(node, ast.Constant) and node.value == "float64"
+
+
+class Float64Rule(Rule):
+    code = "F64001"
+    summary = "float64 pinned inside a compute_dtype-scoped path"
+
+    def applies_to(self, path: str) -> bool:
+        normalized = path.replace("\\", "/")
+        return normalized.endswith(_SCOPED_SUFFIXES)
+
+    def check(self, tree: ast.Module, path: str):
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "astype"
+                and node.args
+                and _is_float64(node.args[0])
+            ):
+                yield self.violation(
+                    path, node,
+                    "astype(np.float64) re-promotes a compute_dtype-scoped "
+                    "array; use the policy dtype (resolve via nn.dtype) or "
+                    "suppress with a contract justification",
+                )
+                continue
+            for keyword in node.keywords:
+                if keyword.arg == "dtype" and _is_float64(keyword.value):
+                    yield self.violation(
+                        path, node,
+                        "dtype=np.float64 pins precision inside a "
+                        "compute_dtype-scoped path; derive the dtype from the "
+                        "policy instead",
+                    )
+                    break

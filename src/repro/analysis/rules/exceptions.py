@@ -1,0 +1,32 @@
+"""EXC001: no bare ``except:`` clauses.
+
+A bare ``except:`` swallows ``KeyboardInterrupt``/``SystemExit`` and
+``MemoryError`` along with the error it meant to handle — in this repo
+that turns a Ctrl-C during a long CPU training run into a silently
+corrupted training loop instead of a clean exit, and hides divergence
+signals the robustness guards depend on.  Catch the narrowest concrete
+exception; use ``except Exception`` only at documented top-level
+boundaries (request handlers, worker loops) where crashing the thread is
+worse than logging.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Rule
+
+
+class BareExceptRule(Rule):
+    code = "EXC001"
+    summary = "bare except: swallows KeyboardInterrupt/SystemExit"
+
+    def check(self, tree: ast.Module, path: str):
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.violation(
+                    path, node,
+                    "bare except: catches KeyboardInterrupt/SystemExit too; "
+                    "name the exception type (or Exception at a documented "
+                    "thread boundary)",
+                )

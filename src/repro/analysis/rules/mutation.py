@@ -1,0 +1,73 @@
+"""MUT001: no in-place mutation of autograd-reachable arrays.
+
+``Tensor.data`` buffers are shared by every node that views them; the
+backward closures capture them by reference and replay them when
+``backward()`` runs.  Mutating one in place (``t.data[...] = x``,
+``t.data += x``, ``t.data.fill(0)``) silently corrupts gradients of any
+graph built before the mutation — the classic "in-place operation
+modified a variable needed for gradient computation", except numpy
+cannot detect it at runtime, so we forbid it statically.
+
+Rebinding (``t.data = new_array``) is allowed: the optimizer's parameter
+update rebinds leaves after backward has consumed the graph, which never
+aliases a captured buffer.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Rule
+
+#: ndarray methods that mutate the receiver in place.
+_MUTATING_METHODS = frozenset({
+    "fill", "sort", "put", "partition", "itemset", "setfield", "resize",
+    "byteswap", "setflags",
+})
+
+
+def _touches_data(node: ast.AST) -> bool:
+    """True when the expression reads through a ``.data`` attribute."""
+    return any(
+        isinstance(sub, ast.Attribute) and sub.attr == "data"
+        for sub in ast.walk(node)
+    )
+
+
+class InPlaceMutationRule(Rule):
+    code = "MUT001"
+    summary = "in-place mutation of a .data buffer reachable from autograd"
+
+    def check(self, tree: ast.Module, path: str):
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Subscript) and _touches_data(target.value):
+                        yield self.violation(
+                            path, target,
+                            "subscript assignment into a .data buffer mutates "
+                            "an array captured by backward closures; build a "
+                            "new array and rebind instead",
+                        )
+            elif isinstance(node, ast.AugAssign):
+                target = node.target
+                is_data_attr = isinstance(target, ast.Attribute) and target.attr == "data"
+                is_data_sub = isinstance(target, ast.Subscript) and _touches_data(target.value)
+                if is_data_attr or is_data_sub:
+                    yield self.violation(
+                        path, target,
+                        "augmented assignment on a .data buffer mutates in "
+                        "place; use `x.data = x.data <op> y` to rebind",
+                    )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATING_METHODS
+                    and _touches_data(func.value)
+                ):
+                    yield self.violation(
+                        path, func,
+                        f".data.{func.attr}() mutates the buffer in place and "
+                        "corrupts gradients of any live graph over it",
+                    )

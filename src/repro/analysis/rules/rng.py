@@ -1,0 +1,57 @@
+"""RNG001: no global numpy randomness — thread a seeded Generator.
+
+Reproducibility is a first-class claim of this repo (same seed, same
+tables).  The legacy ``np.random.*`` module functions draw from hidden
+process-global state that any import or thread can perturb, and an
+unseeded ``np.random.default_rng()`` is fresh entropy on every call —
+both make results irreproducible and untestable.  Every random draw in
+``src/repro`` must come from an ``np.random.Generator`` threaded in by
+the caller (ultimately from a config seed).
+
+Suppress only for documented opt-in fallbacks (e.g. a layer whose
+``rng=None`` default exists for interactive use while every repro code
+path passes a generator) with ``# repro: noqa[RNG001]`` plus a
+justification comment.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Rule, dotted_name
+
+#: np.random attributes that are construction/seeding machinery, not draws.
+_ALLOWED_ATTRS = frozenset({
+    "default_rng", "Generator", "BitGenerator", "SeedSequence",
+    "PCG64", "PCG64DXSM", "MT19937", "Philox", "SFC64", "RandomState",
+})
+
+_NUMPY_ALIASES = ("np.random", "numpy.random")
+
+
+class GlobalRandomRule(Rule):
+    code = "RNG001"
+    summary = "global numpy randomness (legacy np.random.* or unseeded default_rng())"
+
+    def check(self, tree: ast.Module, path: str):
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute):
+                base = dotted_name(node.value)
+                if base in _NUMPY_ALIASES and node.attr not in _ALLOWED_ATTRS:
+                    yield self.violation(
+                        path, node,
+                        f"legacy global np.random.{node.attr} draws from hidden "
+                        "process state; thread an np.random.Generator instead",
+                    )
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if (
+                    name in (f"{alias}.default_rng" for alias in _NUMPY_ALIASES)
+                    and not node.args
+                    and not node.keywords
+                ):
+                    yield self.violation(
+                        path, node,
+                        "unseeded np.random.default_rng() is fresh entropy on "
+                        "every call; pass a seed or accept a Generator",
+                    )

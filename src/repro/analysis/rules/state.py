@@ -1,0 +1,87 @@
+"""LOCK001: module-level mutable state in threaded code needs a lock.
+
+The serving stack (``repro.serve``) and the streaming detector run user
+requests on worker-pool threads; a module-level dict/list/set mutated at
+request time is a data race unless the module also declares the
+synchronisation discipline protecting it — a ``threading.Lock``/
+``RLock`` at module level, or ``threading.local`` when the state is
+meant to be per-thread.
+
+The rule is scoped to ``serve``/``streaming`` modules and flags
+module-level assignments of mutable containers (literals or ``dict()``/
+``list()``/``set()``/``OrderedDict()``/``defaultdict()``/``deque()``
+calls) when the module declares no module-level lock or thread-local.
+``__all__``-style dunder metadata is exempt (import-time only, never
+mutated after).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .base import Rule, dotted_name
+
+_CONTAINER_CALLS = frozenset({
+    "dict", "list", "set", "OrderedDict", "defaultdict", "deque",
+    "collections.OrderedDict", "collections.defaultdict", "collections.deque",
+})
+
+_LOCK_CALLS = frozenset({
+    "threading.Lock", "threading.RLock", "threading.local",
+    "Lock", "RLock", "local",
+})
+
+
+def _is_mutable_container(value: ast.AST) -> bool:
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.ListComp,
+                          ast.SetComp, ast.DictComp)):
+        return True
+    if isinstance(value, ast.Call):
+        name = dotted_name(value.func)
+        return name in _CONTAINER_CALLS
+    return False
+
+
+def _declares_lock(tree: ast.Module) -> bool:
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = [node.value]
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.value]
+        for value in targets:
+            if isinstance(value, ast.Call) and dotted_name(value.func) in _LOCK_CALLS:
+                return True
+    return False
+
+
+class UnlockedStateRule(Rule):
+    code = "LOCK001"
+    summary = "module-level mutable container in threaded code without a lock"
+
+    def applies_to(self, path: str) -> bool:
+        normalized = path.replace("\\", "/")
+        return "/serve/" in normalized or normalized.endswith("streaming.py")
+
+    def check(self, tree: ast.Module, path: str):
+        if _declares_lock(tree):
+            return
+        for node in tree.body:
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, node.targets
+            elif isinstance(node, ast.AnnAssign):
+                value, targets = node.value, [node.target]
+            else:
+                continue
+            if value is None or not _is_mutable_container(value):
+                continue
+            names = [t.id for t in targets if isinstance(t, ast.Name)]
+            if all(name.startswith("__") and name.endswith("__") for name in names):
+                continue  # dunder metadata (__all__ etc.), import-time only
+            label = ", ".join(names) or "<unpacked>"
+            yield self.violation(
+                path, node,
+                f"module-level mutable container {label!r} in threaded "
+                "serve/streaming code with no module-level threading.Lock/"
+                "RLock/local declaring its synchronisation discipline",
+            )

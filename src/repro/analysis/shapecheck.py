@@ -1,0 +1,285 @@
+"""Abstract graph checker: pre-flight shape/dtype/grad-flow validation.
+
+Traces a module's forward (or any callable building an autograd graph)
+with small deterministic inputs, replaying the *exact same* op dispatch
+as ``repro.nn.tensor``/``functional``/``fused`` — the dispatch decisions
+(fused vs reference kernels, dtype policy, ablation branches) are the
+real ones, not a re-implementation that could drift.  Three checks run
+over the traced graph:
+
+**Broadcast mismatches** — numpy raises inside the op; the checker
+catches it, walks the traceback to the innermost ``repro.nn`` frame to
+name the culpable op, and re-raises as :class:`ShapeCheckError` with the
+operand shapes.
+
+**Dtype-policy violations** — any op whose floating-point inputs mix
+dtypes (e.g. float64 leaking into a float32 compute path).  The
+sanctioned cast points are Tensor construction (``nn.dtype`` policy) and
+``Module.to_dtype``; after those, every op should see homogeneous float
+dtypes, so a mix always indicates a tensor that bypassed the policy.
+
+**Grad-flow breaks** — parameters with ``requires_grad=True`` that have
+no path to the loss (a ``detach()`` or data-escape severed the graph),
+or a loss that does not require grad at all.
+
+:func:`preflight_model` packages this for detector models: synthesize a
+small deterministic batch, trace ``model.loss``, check grad flow for every named
+parameter, and restore any internal RNG state afterwards so the trace
+never perturbs the training trajectory.  ``TFMAEConfig.preflight=True``
+runs it at the top of ``Trainer.fit`` and before ``serve`` publishes an
+artifact; the budget is < 100 ms on the full paper configuration (see
+``docs/analysis.md``).
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn.tensor import Tensor, op_hook
+
+__all__ = [
+    "OpRecord",
+    "ShapeIssue",
+    "ShapeCheckError",
+    "TraceReport",
+    "trace",
+    "check_grad_flow",
+    "preflight_model",
+]
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One dispatched op as seen by the tracer."""
+
+    op: str
+    input_shapes: tuple
+    input_dtypes: tuple
+    output_shape: tuple
+    output_dtype: str
+    requires_grad: bool
+
+
+@dataclass(frozen=True)
+class ShapeIssue:
+    """One violation found by the checker."""
+
+    kind: str     # "broadcast" | "dtype_mix" | "grad_flow" | "loss_no_grad"
+    op: str       # culpable op, or the parameter name for grad_flow
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.op}: {self.message}"
+
+
+class ShapeCheckError(RuntimeError):
+    """The traced graph violates a shape/dtype/grad-flow invariant."""
+
+    def __init__(self, issues: list):
+        self.issues = list(issues)
+        lines = "\n".join(f"  {issue}" for issue in self.issues)
+        super().__init__(
+            f"shape check failed with {len(self.issues)} issue(s):\n{lines}"
+        )
+
+
+@dataclass
+class TraceReport:
+    """Everything the tracer saw: op records plus detected issues."""
+
+    records: list = field(default_factory=list)
+    issues: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def raise_if_issues(self) -> "TraceReport":
+        if self.issues:
+            raise ShapeCheckError(self.issues)
+        return self
+
+    def summary(self) -> str:
+        status = "clean" if self.ok else f"{len(self.issues)} issue(s)"
+        return f"{len(self.records)} ops traced, {status}"
+
+
+class _Tracer:
+    """Op hook recording every dispatch and flagging dtype mixes."""
+
+    def __init__(self, report: TraceReport):
+        self.report = report
+
+    def after_forward(self, out: Tensor, parents: tuple) -> None:
+        dtypes = tuple(str(p.data.dtype) for p in parents)
+        self.report.records.append(OpRecord(
+            op=out.op or "leaf",
+            input_shapes=tuple(p.data.shape for p in parents),
+            input_dtypes=dtypes,
+            output_shape=out.data.shape,
+            output_dtype=str(out.data.dtype),
+            requires_grad=out.requires_grad,
+        ))
+        float_dtypes = {
+            str(p.data.dtype) for p in parents
+            if np.issubdtype(p.data.dtype, np.floating)
+        }
+        if len(float_dtypes) > 1:
+            self.report.issues.append(ShapeIssue(
+                kind="dtype_mix",
+                op=out.op or "leaf",
+                message=(
+                    f"op mixes float dtypes {sorted(float_dtypes)} "
+                    f"(input shapes {tuple(p.data.shape for p in parents)}); "
+                    "cast at Tensor construction via the nn.dtype policy "
+                    "instead of feeding mismatched operands"
+                ),
+            ))
+
+
+def _innermost_nn_frame(error: BaseException) -> str:
+    """Name of the op whose kernel raised, from the traceback."""
+    import repro.nn as _nn
+
+    nn_dir = _nn.__path__[0]
+    for frame in reversed(traceback.extract_tb(error.__traceback__)):
+        if frame.filename.startswith(nn_dir):
+            return frame.name
+    return "<unknown op>"
+
+
+def trace(fn, *args, **kwargs) -> tuple:
+    """Run ``fn`` under the tracer; returns ``(result, TraceReport)``.
+
+    A shape error inside an op dispatch is converted to
+    :class:`ShapeCheckError` naming the op; dtype-mix issues are collected
+    in the report without interrupting the trace.
+    """
+    report = TraceReport()
+    tracer = _Tracer(report)
+    try:
+        with op_hook(tracer):
+            result = fn(*args, **kwargs)
+    except (ValueError, IndexError) as error:
+        op = _innermost_nn_frame(error)
+        last = report.records[-1].op if report.records else "<start>"
+        report.issues.append(ShapeIssue(
+            kind="broadcast",
+            op=op,
+            message=f"{error} (after {len(report.records)} ops; "
+                    f"last successful op: {last})",
+        ))
+        raise ShapeCheckError(report.issues) from error
+    return result, report
+
+
+def _reachable_leaves(root: Tensor) -> set:
+    """ids of every tensor reachable from ``root`` through ``_parents``."""
+    seen: set = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        stack.extend(node._parents)
+    return seen
+
+
+def check_grad_flow(loss: Tensor, named_parameters, report: TraceReport | None = None) -> TraceReport:
+    """Verify every trainable parameter has a graph path to ``loss``.
+
+    ``named_parameters`` is an iterable of ``(name, Parameter)`` pairs
+    (e.g. ``module.named_parameters()``).  Issues are appended to
+    ``report`` (a fresh one by default) and returned — call
+    :meth:`TraceReport.raise_if_issues` to make them fatal.
+    """
+    if report is None:
+        report = TraceReport()
+    if not loss.requires_grad:
+        report.issues.append(ShapeIssue(
+            kind="loss_no_grad",
+            op="loss",
+            message="the loss does not require grad; backward would be a no-op "
+                    "(built under no_grad, or every input is detached)",
+        ))
+        return report
+    reachable = _reachable_leaves(loss)
+    for name, param in named_parameters:
+        if param.requires_grad and id(param) not in reachable:
+            report.issues.append(ShapeIssue(
+                kind="grad_flow",
+                op=name,
+                message="trainable parameter is not reachable from the loss; "
+                        "a detach() or .data escape severed the graph",
+            ))
+    return report
+
+
+# ----------------------------------------------------------------------
+# model pre-flight
+# ----------------------------------------------------------------------
+def _collect_generators(root) -> list:
+    """Every np.random.Generator reachable through the module tree.
+
+    Walks ``__dict__`` attributes (descending into child modules, plain
+    helper objects such as maskers, and dict containers) so a pre-flight
+    trace can snapshot and restore all internal RNG state.
+    """
+    generators: list = []
+    seen: set = {id(root)}
+    stack = [root]
+    while stack:
+        obj = stack.pop()
+        attrs = getattr(obj, "__dict__", None)
+        if attrs is None:
+            continue
+        for value in attrs.values():
+            if isinstance(value, dict):
+                candidates = list(value.values())
+            else:
+                candidates = [value]
+            for candidate in candidates:
+                if id(candidate) in seen:
+                    continue
+                seen.add(id(candidate))
+                if isinstance(candidate, np.random.Generator):
+                    generators.append(candidate)
+                elif hasattr(candidate, "__dict__"):
+                    stack.append(candidate)
+    return generators
+
+
+def preflight_model(model, batch_size: int = 1, raise_on_issue: bool = True) -> TraceReport:
+    """Trace ``model.loss`` on a synthetic batch and run all three checks.
+
+    ``model`` needs ``n_features``, ``config.window_size``, a
+    ``loss(windows) -> (Tensor, metrics)`` method, and
+    ``named_parameters()`` — the contract of
+    :class:`~repro.core.model.TFMAEModel` and the nn-based baselines.
+
+    Internal RNG state (maskers, dropout) is snapshotted before the trace
+    and restored after, so running the pre-flight does not change the
+    subsequent training trajectory; parameter gradients are untouched
+    (the trace never calls backward).
+    """
+    import copy
+
+    generators = _collect_generators(model)
+    saved_states = [copy.deepcopy(g.bit_generator.state) for g in generators]
+    probe_rng = np.random.default_rng(0)
+    windows = probe_rng.standard_normal(
+        (batch_size, model.config.window_size, model.n_features)
+    )
+    try:
+        (loss, _metrics), report = trace(model.loss, windows)
+        check_grad_flow(loss, model.named_parameters(), report)
+    finally:
+        for generator, state in zip(generators, saved_states):
+            generator.bit_generator.state = state
+    if raise_on_issue:
+        report.raise_if_issues()
+    return report

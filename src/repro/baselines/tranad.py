@@ -46,7 +46,7 @@ class _TranADModel(Module):
         # Phase 1: plain reconstruction with zero focus.
         o1 = self.decoder1(self._encode(x, zero_focus))
         # Phase 2: self-conditioning on the (detached) phase-1 error map.
-        focus = Tensor(((o1.data - windows) ** 2))
+        focus = (o1.detach() - x.detach()) ** 2
         o2 = self.decoder2(self._encode(x, focus))
         return x, o1, o2
 

@@ -17,6 +17,13 @@ Commands
 
         python -m repro serve --registry ./model-registry --port 8080
         python -m repro serve --demo          # fit + publish + serve a demo model
+``analyze``
+    Static analysis (see docs/analysis.md): the repo-invariant linter
+    and/or the model shape/dtype/grad-flow checker, e.g.::
+
+        python -m repro analyze --all         # lint + shapecheck, exit 1 on findings
+        python -m repro analyze lint --json
+        python -m repro analyze shapecheck
 """
 
 from __future__ import annotations
@@ -88,6 +95,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--demo", action="store_true",
                        help="fit a small TFMAE on synthetic data, publish it "
                             "as 'demo', then serve (no registry required)")
+
+    analyze = sub.add_parser("analyze", help="repo linter and model shape checker")
+    analyze.add_argument("what", nargs="?", choices=["lint", "shapecheck"],
+                         help="run one layer only (default: both)")
+    analyze.add_argument("--all", action="store_true", dest="run_all",
+                         help="run every analysis layer (the default when no "
+                              "positional is given)")
+    analyze.add_argument("--json", action="store_true",
+                         help="machine-readable lint report")
+    analyze.add_argument("--path", action="append", default=None,
+                         help="file or tree to lint (repeatable; default: the "
+                              "installed repro package)")
     return parser
 
 
@@ -146,6 +165,52 @@ def _build_server(args: argparse.Namespace):
     )
 
 
+def _run_analyze(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .analysis import (
+        ShapeCheckError,
+        format_json,
+        format_text,
+        lint_paths,
+        preflight_model,
+    )
+
+    run_lint = args.run_all or args.what in (None, "lint")
+    run_shapecheck = args.run_all or args.what in (None, "shapecheck")
+    exit_code = 0
+
+    if run_lint:
+        paths = args.path if args.path else [str(Path(__file__).parent)]
+        violations = lint_paths(paths)
+        print(format_json(violations) if args.json else format_text(violations))
+        if violations:
+            exit_code = 1
+
+    if run_shapecheck:
+        from .core.model import TFMAEModel
+
+        # The shipped graphs: full model, both precision policies, and the
+        # ablation branches that rewire the architecture.
+        variants: dict[str, dict] = {
+            "default": {},
+            "float32": {"compute_dtype": "float32"},
+            "temporal-only": {"use_frequency_branch": False},
+            "frequency-only": {"use_temporal_branch": False},
+            "non-adversarial": {"adversarial": False},
+        }
+        for name, overrides in variants.items():
+            model = TFMAEModel(n_features=3, config=TFMAEConfig(**overrides))
+            try:
+                report = preflight_model(model)
+                print(f"shapecheck {name}: {report.summary()}")
+            except ShapeCheckError as error:
+                print(f"shapecheck {name}: FAILED\n{error}")
+                exit_code = 1
+
+    return exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -167,6 +232,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "serve":
         _build_server(args).serve_forever()
         return 0
+
+    if args.command == "analyze":
+        return _run_analyze(args)
 
     # run
     dataset = get_dataset(args.dataset, seed=args.seed, scale=args.scale)

@@ -82,6 +82,16 @@ class TFMAEConfig:
     lr_backoff: float = 0.5
     loss_explosion_factor: float | None = 1e4   # None disables the explosion check
     check_gradients: bool = True       # scan gradients for NaN/Inf per batch
+    # --- static analysis (see repro.analysis and docs/analysis.md) ---
+    # Pre-flight shape/dtype/grad-flow trace of model.loss at the top of
+    # Trainer.fit and before registry publish; well under 100 ms and catches
+    # broadcast/policy/grad-flow bugs before a long run burns CPU time.
+    preflight: bool = True
+    # Wrap every training batch in analysis.detect_anomaly(): the first
+    # NaN/Inf in any forward output or backward gradient is attributed to
+    # the op that produced it, and the divergence guard turns it into a
+    # rollback naming that op.  Costs < 3x per step (docs/analysis.md).
+    detect_anomaly: bool = False
     # Snapshot selection: after each epoch, score a validation probe
     # corrupted with synthetic 6-sigma spikes at known positions and keep
     # the weights with the best spike-vs-normal ROC-AUC.  Label-free (the

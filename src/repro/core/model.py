@@ -267,8 +267,11 @@ class TFMAEModel(Module):
             p, f = self.forward(windows)
             if self._dual:
                 score = F.symmetric_kl(p, f, reduce=False)
-                return score.data.astype(np.float64, copy=False)
+                # Scores are float64 by contract regardless of compute_dtype
+                # (thresholds/metrics compare across policies).
+                return score.data.astype(np.float64, copy=False)  # repro: noqa[F64001]
             representation = p if p is not None else f
             reconstruction = self.reconstruction_head(representation)
             error = (reconstruction - Tensor(windows)) ** 2
-            return error.data.mean(axis=-1).astype(np.float64, copy=False)
+            # Same float64 score contract as the dual-branch path above.
+            return error.data.mean(axis=-1).astype(np.float64, copy=False)  # repro: noqa[F64001]

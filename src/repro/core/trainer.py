@@ -20,10 +20,13 @@ trainer rolls back to the last good state, scales the learning rate by
 from __future__ import annotations
 
 import copy
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..analysis.anomaly import AnomalyError, detect_anomaly
+from ..analysis.shapecheck import preflight_model
 from ..datasets.windows import non_overlapping_windows
 from ..metrics.ranking import roc_auc
 from ..nn.optim import Adam
@@ -46,6 +49,8 @@ _RESUMABLE_FIELDS = (
     "lr_backoff",
     "loss_explosion_factor",
     "check_gradients",
+    "preflight",
+    "detect_anomaly",
 )
 
 
@@ -210,6 +215,13 @@ class TFMAETrainer:
             )
         rng = np.random.default_rng(config.seed)
 
+        if config.preflight:
+            # Cheap shape/dtype/grad-flow trace of model.loss before any
+            # training; raises ShapeCheckError naming the culpable op.
+            # Internal RNG state is restored, so the training trajectory is
+            # identical with or without the pre-flight.
+            preflight_model(self.model)
+
         probe = None
         if config.select_best_epoch and validation is not None:
             probe = build_synthetic_probe(validation, config.window_size,
@@ -261,18 +273,25 @@ class TFMAETrainer:
             report = None
             for start in range(0, len(order), config.batch_size):
                 batch = windows[order[start : start + config.batch_size]]
-                loss, metrics = self.model.loss(batch)
-                loss_value = loss.item()
-                # The adversarial objective's value is 0 by construction
-                # (min minus max of the same quantity), so log the
-                # minimisation component — the meaningful convergence trace.
-                tracked = metrics.get("minimise", loss_value)
-                report = guard.check_batch_loss(loss_value) or guard.check_batch_loss(tracked)
-                if report is not None:
-                    break
-                self.optimizer.zero_grad()
-                loss.backward()
-                report = guard.check_batch_gradients(self.optimizer.parameters)
+                try:
+                    sanitizer = detect_anomaly() if config.detect_anomaly else nullcontext()
+                    with sanitizer:
+                        loss, metrics = self.model.loss(batch)
+                        loss_value = loss.item()
+                        # The adversarial objective's value is 0 by construction
+                        # (min minus max of the same quantity), so log the
+                        # minimisation component — the meaningful convergence trace.
+                        tracked = metrics.get("minimise", loss_value)
+                        report = guard.check_batch_loss(loss_value) or guard.check_batch_loss(tracked)
+                        if report is None:
+                            self.optimizer.zero_grad()
+                            loss.backward()
+                            report = guard.check_batch_gradients(self.optimizer.parameters)
+                except AnomalyError as anomaly:
+                    # The sanitizer pinpointed the op that produced the first
+                    # NaN/Inf; roll back through the standard divergence path
+                    # with the culpable op in the report.
+                    report = guard.report_anomaly(anomaly)
                 if report is not None:
                     break
                 self.optimizer.step()

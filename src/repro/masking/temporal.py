@@ -229,7 +229,9 @@ class TemporalMasker:
         self.window = window
         self.strategy = strategy
         self.use_fft = use_fft
-        self.rng = rng if rng is not None else np.random.default_rng()
+        # Interactive fallback; model construction always passes the
+        # config-seeded generator.
+        self.rng = rng if rng is not None else np.random.default_rng()  # repro: noqa[RNG001]
 
     def num_masked(self, length: int) -> int:
         """``I^(T) = floor(r% * |S|)`` (Eq. 2)."""

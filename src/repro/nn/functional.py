@@ -90,7 +90,9 @@ def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator | None
         return x
     if not 0.0 <= p < 1.0:
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
-    generator = rng if rng is not None else np.random.default_rng()
+    # Documented interactive fallback: repro callers (Dropout layer, fused
+    # kernels) always thread a seeded generator through `rng`.
+    generator = rng if rng is not None else np.random.default_rng()  # repro: noqa[RNG001]
     mask = (generator.random(x.shape) >= p) / (1.0 - p)
     return x * Tensor(mask)
 

@@ -25,13 +25,26 @@ unfused reference composition, so in float64 the fused forward is
 bit-identical; every backward is verified against the reference by
 finite-difference :func:`repro.nn.gradcheck` in the test-suite.
 
-:func:`use_fused` / :func:`fused_enabled` provide a global switch so the
+:func:`use_fused` / :func:`fused_enabled` provide the switch so the
 equivalence tests and micro-benchmarks can flip between the fused and
 reference paths; the public :mod:`repro.nn.functional` entry points
 dispatch on it.
+
+Threading contract
+------------------
+The switch mirrors :mod:`repro.nn.dtype` exactly:
+
+* :func:`set_fused` sets the **process-wide default** (True at import).
+* :class:`use_fused` is a **thread-local override**: it scopes the toggle
+  to the current thread only, so a test or benchmark flipping to the
+  reference path can never make the serve scheduler's worker pool — or a
+  training thread — silently take the slow (or fast) path mid-run.
+  Overrides nest; the innermost active one wins on its own thread.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -58,33 +71,53 @@ __all__ = [
 _SQRT_2_OVER_PI = float(np.sqrt(2.0 / np.pi))
 _GELU_COEFF = 0.044715
 
-_ENABLED = True
+_global_enabled = True
+_local = threading.local()
 
 
 def fused_enabled() -> bool:
-    """Whether the fused kernels are active (default True)."""
-    return _ENABLED
+    """Whether the fused kernels are active on this thread (default True).
+
+    A thread-local :class:`use_fused` override wins over the
+    :func:`set_fused` process default.
+    """
+    stack = getattr(_local, "stack", None)
+    if stack:
+        return stack[-1]
+    return _global_enabled
 
 
 def set_fused(enabled: bool) -> None:
-    """Globally enable or disable the fused kernels."""
-    global _ENABLED
-    _ENABLED = bool(enabled)
+    """Set the process-wide default for the fused kernels.
+
+    Threads currently inside a :class:`use_fused` block keep their own
+    override; everyone else observes the new default immediately.
+    """
+    global _global_enabled
+    _global_enabled = bool(enabled)
 
 
 class use_fused:
-    """Context manager scoping :func:`set_fused` (used by tests/benches)."""
+    """Thread-local fused-kernel override, usable as a context manager.
+
+    Scoped to the current thread only (mirroring
+    :class:`repro.nn.dtype.default_dtype`), so equivalence tests and
+    benches flipping to the reference path never disturb concurrent
+    serving or training threads.
+    """
 
     def __init__(self, enabled: bool):
         self.enabled = bool(enabled)
 
     def __enter__(self) -> "use_fused":
-        self._saved = _ENABLED
-        set_fused(self.enabled)
+        stack = getattr(_local, "stack", None)
+        if stack is None:
+            stack = _local.stack = []
+        stack.append(self.enabled)
         return self
 
     def __exit__(self, *exc_info) -> None:
-        set_fused(self._saved)
+        _local.stack.pop()
 
 
 # ----------------------------------------------------------------------
@@ -106,7 +139,7 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
         inner = (grad * out_data).sum(axis=axis, keepdims=True)
         x._accumulate(out_data * (grad - inner))
 
-    return Tensor._make(out_data, (x,), backward)
+    return Tensor._make(out_data, (x,), backward, op="fused_softmax")
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -118,7 +151,7 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad - np.exp(out_data) * grad.sum(axis=axis, keepdims=True))
 
-    return Tensor._make(out_data, (x,), backward)
+    return Tensor._make(out_data, (x,), backward, op="fused_log_softmax")
 
 
 def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
@@ -146,7 +179,7 @@ def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Te
         weight._accumulate(_unbroadcast(grad * x_hat, weight.shape))
         bias._accumulate(_unbroadcast(grad, bias.shape))
 
-    return Tensor._make(out_data, (x, weight, bias), backward)
+    return Tensor._make(out_data, (x, weight, bias), backward, op="fused_layer_norm")
 
 
 def gelu(x: Tensor) -> Tensor:
@@ -162,7 +195,7 @@ def gelu(x: Tensor) -> Tensor:
         du = _SQRT_2_OVER_PI * (1.0 + 3.0 * _GELU_COEFF * data * data)
         x._accumulate(grad * (0.5 * (1.0 + t) + 0.5 * data * (1.0 - t * t) * du))
 
-    return Tensor._make(out_data, (x,), backward)
+    return Tensor._make(out_data, (x,), backward, op="fused_gelu")
 
 
 def dropout_residual(
@@ -181,7 +214,8 @@ def dropout_residual(
     if training and p > 0.0:
         if not 0.0 <= p < 1.0:
             raise ValueError(f"dropout probability must be in [0, 1), got {p}")
-        generator = rng if rng is not None else np.random.default_rng()
+        # Interactive fallback; repro callers thread a seeded generator.
+        generator = rng if rng is not None else np.random.default_rng()  # repro: noqa[RNG001]
         mask = ((generator.random(x.shape) >= p) / (1.0 - p)).astype(
             x.data.dtype, copy=False
         )
@@ -194,7 +228,7 @@ def dropout_residual(
         residual._accumulate(_unbroadcast(grad, residual.shape))
         x._accumulate(_unbroadcast(grad if mask is None else grad * mask, x.shape))
 
-    return Tensor._make(out_data, (x, residual), backward)
+    return Tensor._make(out_data, (x, residual), backward, op="fused_dropout_residual")
 
 
 def scaled_dot_product_attention(
@@ -222,7 +256,8 @@ def scaled_dot_product_attention(
     if training and dropout_p > 0.0:
         if not 0.0 <= dropout_p < 1.0:
             raise ValueError(f"dropout probability must be in [0, 1), got {dropout_p}")
-        generator = rng if rng is not None else np.random.default_rng()
+        # Interactive fallback; repro callers thread a seeded generator.
+        generator = rng if rng is not None else np.random.default_rng()  # repro: noqa[RNG001]
         mask = ((generator.random(weights.shape) >= dropout_p) / (1.0 - dropout_p)).astype(
             weights.dtype, copy=False
         )
@@ -242,7 +277,7 @@ def scaled_dot_product_attention(
         q._accumulate(grad_scores @ k_data)
         k._accumulate(np.swapaxes(grad_scores, -1, -2) @ q_data)
 
-    return Tensor._make(out_data, (q, k, v), backward), weights
+    return Tensor._make(out_data, (q, k, v), backward, op="fused_attention"), weights
 
 
 # ----------------------------------------------------------------------
@@ -283,7 +318,8 @@ def reference_dropout_residual(
     if training and p > 0.0:
         if not 0.0 <= p < 1.0:
             raise ValueError(f"dropout probability must be in [0, 1), got {p}")
-        generator = rng if rng is not None else np.random.default_rng()
+        # Interactive fallback; repro callers thread a seeded generator.
+        generator = rng if rng is not None else np.random.default_rng()  # repro: noqa[RNG001]
         mask = (generator.random(x.shape) >= p) / (1.0 - p)
         return residual + x * Tensor(mask)
     return residual + x
@@ -305,7 +341,8 @@ def reference_scaled_dot_product_attention(
     if training and dropout_p > 0.0:
         if not 0.0 <= dropout_p < 1.0:
             raise ValueError(f"dropout probability must be in [0, 1), got {dropout_p}")
-        generator = rng if rng is not None else np.random.default_rng()
+        # Interactive fallback; repro callers thread a seeded generator.
+        generator = rng if rng is not None else np.random.default_rng()  # repro: noqa[RNG001]
         mask = (generator.random(weights.shape) >= dropout_p) / (1.0 - dropout_p)
         weights = weights * Tensor(mask)
     return weights @ v, weights_data

@@ -54,6 +54,7 @@ def gradcheck(
     atol: float = 1e-7,
     rtol: float = 1e-5,
     seed: int = 0,
+    allow_float32: bool = False,
 ) -> bool:
     """Verify ``fn``'s analytic gradients against central finite differences.
 
@@ -70,6 +71,11 @@ def gradcheck(
         Perturbation size and comparison tolerances.
     seed:
         Seed for the fixed projection direction.
+    allow_float32:
+        Accept float32 inputs.  Central differences at float32 resolution
+        need a much larger ``eps`` (around 1e-2) and loosened tolerances;
+        used to sweep the fused kernels under the ``compute_dtype="float32"``
+        policy, where the analytic backward itself runs in float32.
 
     Returns
     -------
@@ -86,8 +92,9 @@ def gradcheck(
         raise ValueError("gradcheck needs at least one input tensor")
     inputs = tuple(t if isinstance(t, Tensor) else Tensor(t, requires_grad=True)
                    for t in inputs)
+    accepted = (np.float64, np.float32) if allow_float32 else (np.float64,)
     for position, tensor in enumerate(inputs):
-        if tensor.data.dtype != np.float64:
+        if tensor.data.dtype not in accepted:
             raise ValueError(
                 f"gradcheck requires float64 inputs; input {position} is "
                 f"{tensor.data.dtype}"
@@ -102,8 +109,9 @@ def gradcheck(
     if not any(t.requires_grad for t in inputs):
         raise ValueError("gradcheck needs at least one input with requires_grad=True")
 
-    # Analytic gradients via one backward pass on fresh tensors.
-    fresh = [Tensor(t.data.copy(), requires_grad=t.requires_grad) for t in inputs]
+    # Analytic gradients via one backward pass on fresh leaves — the copy
+    # must NOT share the caller's graph or buffers, so detaching is the point.
+    fresh = [Tensor(t.data.copy(), requires_grad=t.requires_grad) for t in inputs]  # repro: noqa[DET001]
     output = fn(*fresh)
     output.backward(direction.reshape(output.shape))
 

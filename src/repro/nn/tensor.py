@@ -29,12 +29,51 @@ import numpy as np
 
 from .dtype import resolve_dtype
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "op_hook"]
 
 # Per-thread: the serving worker pool scores under no_grad() concurrently
 # with training elsewhere; a process-global flag would race (interleaved
 # save/restore can leave gradients disabled for everyone).
 _GRAD_STATE = threading.local()
+
+# Per-thread op-observation hooks (see repro.analysis).  A hook object may
+# define ``after_forward(out, parents)`` — called right after any op
+# builds its result tensor, whether or not the result records gradients —
+# and ``after_backward(node)`` — called right after a node's backward
+# closure ran during ``Tensor.backward``.  Thread-local so a tracer or
+# sanitizer on one thread never observes ops from concurrent serving or
+# training threads.
+_HOOK_STATE = threading.local()
+
+
+def _active_hooks() -> list | None:
+    return getattr(_HOOK_STATE, "hooks", None)
+
+
+class op_hook:
+    """Context manager installing an op-observation hook on this thread.
+
+    The hook drives the static/runtime analyses in :mod:`repro.analysis`:
+    the shape/dtype tracer records every dispatched op's metadata and the
+    anomaly sanitizer checks forward outputs and backward gradients for
+    NaN/Inf.  Hooks nest (innermost installed last, all active hooks are
+    invoked) and are strictly thread-local.
+    """
+
+    def __init__(self, hook):
+        self.hook = hook
+
+    def __enter__(self):
+        hooks = getattr(_HOOK_STATE, "hooks", None)
+        if hooks is None:
+            hooks = _HOOK_STATE.hooks = []
+        hooks.append(self.hook)
+        return self.hook
+
+    def __exit__(self, *exc_info) -> None:
+        _HOOK_STATE.hooks.pop()
+        if not _HOOK_STATE.hooks:
+            _HOOK_STATE.hooks = None
 
 
 class no_grad:
@@ -105,7 +144,8 @@ class Tensor:
         :meth:`backward` is called on a downstream scalar.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name", "_topo")
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name",
+                 "_topo", "op", "_site")
 
     def __init__(self, data, requires_grad: bool = False, name: str | None = None,
                  dtype=None):
@@ -116,6 +156,12 @@ class Tensor:
         self._parents: tuple[Tensor, ...] = ()
         self.name = name
         self._topo: list[Tensor] | None = None
+        #: Name of the op that created this tensor (None for leaves);
+        #: populated by :meth:`_make` for every non-leaf node.
+        self.op: str | None = None
+        #: Creation site captured by the anomaly sanitizer (see
+        #: repro.analysis.anomaly); None unless detect_anomaly is active.
+        self._site = None
 
     # ------------------------------------------------------------------
     # basic properties
@@ -159,6 +205,7 @@ class Tensor:
         data: np.ndarray,
         parents: Sequence["Tensor"],
         backward: Callable[[np.ndarray], None],
+        op: str = "op",
     ) -> "Tensor":
         """Create a result tensor, attaching graph edges when enabled.
 
@@ -172,6 +219,7 @@ class Tensor:
         """
         requires = is_grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
+        out.op = op
         if requires:
             parents = tuple(parents)
             snapshot = tuple(p.requires_grad for p in parents)
@@ -188,6 +236,15 @@ class Tensor:
 
             out._parents = parents
             out._backward = gated_backward
+        hooks = _active_hooks()
+        if hooks:
+            # Hooks observe every dispatched op, including ones that do
+            # not record gradients (no_grad scoring, constant subgraphs):
+            # the dtype tracer must see the full forward.
+            for hook in hooks:
+                after_forward = getattr(hook, "after_forward", None)
+                if after_forward is not None:
+                    after_forward(out, tuple(parents))
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -255,9 +312,15 @@ class Tensor:
             self._topo = topo
 
         self._accumulate(grad)
+        hooks = _active_hooks()
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
+                if hooks:
+                    for hook in hooks:
+                        after_backward = getattr(hook, "after_backward", None)
+                        if after_backward is not None:
+                            after_backward(node)
 
     # ------------------------------------------------------------------
     # elementwise arithmetic
@@ -273,7 +336,7 @@ class Tensor:
             self._accumulate(_unbroadcast(grad, self.shape))
             other._accumulate(_unbroadcast(grad, other.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward, op="add")
 
     __radd__ = __add__
 
@@ -281,7 +344,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(-grad)
 
-        return Tensor._make(-self.data, (self,), backward)
+        return Tensor._make(-self.data, (self,), backward, op="neg")
 
     def __sub__(self, other) -> "Tensor":
         return self + (-self._coerce(other))
@@ -297,7 +360,7 @@ class Tensor:
             self._accumulate(_unbroadcast(grad * other.data, self.shape))
             other._accumulate(_unbroadcast(grad * self.data, other.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward, op="mul")
 
     __rmul__ = __mul__
 
@@ -311,7 +374,7 @@ class Tensor:
                 _unbroadcast(-grad * self.data / (other.data**2), other.shape)
             )
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward, op="div")
 
     def __rtruediv__(self, other) -> "Tensor":
         return self._coerce(other) / self
@@ -324,7 +387,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * exponent * self.data ** (exponent - 1))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="pow")
 
     # ------------------------------------------------------------------
     # elementwise transcendental functions
@@ -335,7 +398,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="exp")
 
     def log(self) -> "Tensor":
         out_data = np.log(self.data)
@@ -343,7 +406,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad / self.data)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="log")
 
     def sqrt(self) -> "Tensor":
         out_data = np.sqrt(self.data)
@@ -351,7 +414,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * 0.5 / out_data)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="sqrt")
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
@@ -359,7 +422,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * (1.0 - out_data**2))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="tanh")
 
     def sigmoid(self) -> "Tensor":
         out_data = 1.0 / (1.0 + np.exp(-self.data))
@@ -367,7 +430,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data * (1.0 - out_data))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="sigmoid")
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
@@ -376,7 +439,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * mask)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="relu")
 
     def abs(self) -> "Tensor":
         sign = np.sign(self.data)
@@ -385,7 +448,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * sign)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="abs")
 
     def clip(self, low: float, high: float) -> "Tensor":
         mask = (self.data >= low) & (self.data <= high)
@@ -394,7 +457,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * mask)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="clip")
 
     # ------------------------------------------------------------------
     # reductions
@@ -408,7 +471,7 @@ class Tensor:
                 g = np.expand_dims(g, axis=axis)
             self._accumulate(np.broadcast_to(g, self.shape).copy())
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="sum")
 
     def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -440,7 +503,7 @@ class Tensor:
             count = mask.sum(axis=axis if axis is not None else None, keepdims=True)
             self._accumulate(np.where(mask, g / count, 0.0))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="max")
 
     # ------------------------------------------------------------------
     # linear algebra and shape manipulation
@@ -467,7 +530,7 @@ class Tensor:
             self._accumulate(_unbroadcast(grad_a, self.shape))
             other._accumulate(_unbroadcast(grad_b, other.shape))
 
-        return Tensor._make(out_data, (self, other), backward)
+        return Tensor._make(out_data, (self, other), backward, op="matmul")
 
     def __matmul__(self, other) -> "Tensor":
         return self.matmul(other)
@@ -481,7 +544,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad.transpose(inverse))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="transpose")
 
     def swapaxes(self, a: int, b: int) -> "Tensor":
         axes = list(range(self.ndim))
@@ -501,7 +564,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad.reshape(original))
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="reshape")
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
@@ -511,7 +574,7 @@ class Tensor:
             np.add.at(full, index, grad)
             self._accumulate(full)
 
-        return Tensor._make(out_data, (self,), backward)
+        return Tensor._make(out_data, (self,), backward, op="getitem")
 
     @staticmethod
     def concat(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
@@ -526,7 +589,7 @@ class Tensor:
                 slicer[axis] = slice(start, stop)
                 tensor._accumulate(grad[tuple(slicer)])
 
-        return Tensor._make(out_data, tuple(tensors), backward)
+        return Tensor._make(out_data, tuple(tensors), backward, op="concat")
 
     @staticmethod
     def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
@@ -538,7 +601,7 @@ class Tensor:
             for tensor, part in zip(tensors, parts):
                 tensor._accumulate(np.squeeze(part, axis=axis))
 
-        return Tensor._make(out_data, tuple(tensors), backward)
+        return Tensor._make(out_data, tuple(tensors), backward, op="stack")
 
     @staticmethod
     def scatter(src: "Tensor", index, shape: tuple[int, ...]) -> "Tensor":
@@ -556,7 +619,7 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             src._accumulate(grad[index])
 
-        return Tensor._make(out_data, (src,), backward)
+        return Tensor._make(out_data, (src,), backward, op="scatter")
 
     @staticmethod
     def where(condition: np.ndarray, a: "Tensor", b: "Tensor") -> "Tensor":
@@ -569,18 +632,22 @@ class Tensor:
             a._accumulate(_unbroadcast(np.where(cond, grad, 0.0), a.shape))
             b._accumulate(_unbroadcast(np.where(cond, 0.0, grad), b.shape))
 
-        return Tensor._make(out_data, (a, b), backward)
+        return Tensor._make(out_data, (a, b), backward, op="where")
 
     # ------------------------------------------------------------------
     # composite helpers frequently used by the models
     # ------------------------------------------------------------------
     def softmax(self, axis: int = -1) -> "Tensor":
-        shifted = self - Tensor(self.data.max(axis=axis, keepdims=True))
+        # Stable-softmax shift: softmax(x - c) == softmax(x) for any constant
+        # c, so the max is deliberately constant w.r.t. differentiation — the
+        # composite's gradient is exact without flowing through the max.
+        shifted = self - Tensor(self.data.max(axis=axis, keepdims=True))  # repro: noqa[DET001]
         exp = shifted.exp()
         return exp / exp.sum(axis=axis, keepdims=True)
 
     def log_softmax(self, axis: int = -1) -> "Tensor":
-        shifted = self - Tensor(self.data.max(axis=axis, keepdims=True))
+        # Same intentional constant shift as softmax above.
+        shifted = self - Tensor(self.data.max(axis=axis, keepdims=True))  # repro: noqa[DET001]
         return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
 

@@ -41,7 +41,9 @@ def sinusoidal_positional_encoding(length: int, dim: int, positions: np.ndarray 
     """
     if positions is None:
         positions = np.arange(length)
-    positions = np.asarray(positions, dtype=np.float64)[:, None]
+    # The encoding table is computed once in float64 so it is bit-identical
+    # across compute_dtype policies; it is cast at the Tensor boundary.
+    positions = np.asarray(positions, dtype=np.float64)[:, None]  # repro: noqa[F64001]
     dims = np.arange(dim)[None, :]
     # Even dimensions use sin(t / 10000^(i/D)); odd use cos with (i-1)/D.
     angle_rates = np.power(10000.0, -np.where(dims % 2 == 0, dims, dims - 1) / dim)

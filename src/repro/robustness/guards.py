@@ -36,7 +36,7 @@ class TrainingDivergedError(RuntimeError):
 class GuardReport:
     """One detected divergence: what tripped and where."""
 
-    reason: str   # "non_finite_loss" | "non_finite_gradient" | "loss_explosion"
+    reason: str   # "non_finite_loss" | "non_finite_gradient" | "loss_explosion" | "anomaly"
     detail: str
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -89,6 +89,22 @@ class DivergenceGuard:
                 name = getattr(param, "name", None) or f"parameter[{i}]"
                 return GuardReport("non_finite_gradient", f"gradient of {name} has NaN/Inf")
         return None
+
+    def report_anomaly(self, error: BaseException) -> GuardReport:
+        """Wrap an :class:`repro.analysis.AnomalyError` as a rollback report.
+
+        The sanitizer already attributed the NaN/Inf to the op that
+        produced it (forward output or backward gradient), so the report
+        carries the culpable op instead of the generic "some gradient has
+        NaN" the batch checks can offer.
+        """
+        op = getattr(error, "op", "<unknown>")
+        phase = getattr(error, "phase", "unknown")
+        stats = getattr(error, "stats", "")
+        return GuardReport(
+            "anomaly",
+            f"non-finite values in the {phase} of op {op!r} ({stats})",
+        )
 
     def check_epoch_loss(self, epoch_loss: float) -> GuardReport | None:
         """Track the best epoch loss and flag explosions relative to it."""

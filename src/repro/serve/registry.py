@@ -73,11 +73,40 @@ class DetectorCodec(NamedTuple):
 
 
 _CODECS: dict[str, DetectorCodec] = {}
+#: Guards _CODECS: registration normally happens at import time, but a
+#: serving process may register a codec while worker threads resolve types.
+_CODECS_LOCK = threading.Lock()
 
 
 def register_codec(detector_type: str, codec: DetectorCodec) -> None:
     """Register persistence support for a detector type (by class name)."""
-    _CODECS[detector_type] = codec
+    with _CODECS_LOCK:
+        _CODECS[detector_type] = codec
+
+
+def _lookup_codec(detector_type: str) -> DetectorCodec | None:
+    with _CODECS_LOCK:
+        return _CODECS.get(detector_type)
+
+
+def _preflight_module(module: Module) -> None:
+    """Shape/dtype/grad-flow check a model before it becomes an artifact.
+
+    Duck-typed: runs only for modules following the detector-model
+    contract (``config.window_size``, ``n_features``, ``loss``) whose
+    config opts in via ``preflight=True`` — a broken graph is caught at
+    publish time instead of on the first serving request.  Raises
+    :class:`repro.analysis.ShapeCheckError`.
+    """
+    config = getattr(module, "config", None)
+    if config is None or not getattr(config, "preflight", False):
+        return
+    if not (hasattr(module, "loss") and hasattr(module, "n_features")
+            and hasattr(config, "window_size")):
+        return
+    from ..analysis.shapecheck import preflight_model
+
+    preflight_model(module)
 
 
 def config_fingerprint(payload: dict) -> str:
@@ -159,7 +188,7 @@ class ModelRegistry:
         """
         _validate_component(name, "model name")
         detector_type = type(detector).__name__
-        codec = _CODECS.get(detector_type)
+        codec = _lookup_codec(detector_type)
         if codec is None:
             raise RegistryError(
                 f"no codec registered for detector type {detector_type!r}; "
@@ -171,6 +200,7 @@ class ModelRegistry:
                 "needs one — fit with a validation split or call calibrate_threshold()"
             )
         module, hyperparams = codec.export(detector)
+        _preflight_module(module)
 
         with self._lock:
             if version is None:
@@ -239,7 +269,7 @@ class ModelRegistry:
                 f"{metadata['fingerprint'][:12]}…, recomputed {expected[:12]}…); "
                 "the metadata was altered after publishing"
             )
-        codec = _CODECS.get(metadata["detector"])
+        codec = _lookup_codec(metadata["detector"])
         if codec is None:
             raise RegistryError(
                 f"artifact {path} needs codec {metadata['detector']!r}, which is "

@@ -1,0 +1,107 @@
+"""detect_anomaly: the first NaN/Inf is attributed to the op that made it.
+
+The acceptance-criteria defect — a NaN injected so it only appears in the
+*backward* of the fused attention kernel — must be pinned to
+``fused_attention`` with its creation site, not to a downstream consumer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import AnomalyError, detect_anomaly
+from repro.core.config import TFMAEConfig
+from repro.core.model import TFMAEModel
+from repro.core.trainer import TFMAETrainer
+from repro.nn import Tensor, fused
+from repro.robustness import DivergenceGuard, TrainingDivergedError
+
+
+class TestForward:
+    def test_pinpoints_nan_forward_op(self):
+        with np.errstate(all="ignore"):
+            with pytest.raises(AnomalyError) as excinfo:
+                with detect_anomaly():
+                    x = Tensor(np.array([1.0, 0.0, 2.0]), requires_grad=True)
+                    x.log()  # log(0) = -inf
+        error = excinfo.value
+        assert error.op == "log"
+        assert error.phase == "forward"
+        assert "inf=1" in error.stats
+        assert "test_anomaly" in str(error)  # creation site names this file
+
+    def test_clean_graph_passes(self):
+        with detect_anomaly():
+            x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+            loss = (x * x).sum()
+            loss.backward()
+        np.testing.assert_allclose(x.grad, [2.0, 4.0])
+
+    def test_hook_removed_after_exit(self):
+        with detect_anomaly():
+            pass
+        # Outside the context a NaN passes silently again.
+        with np.errstate(all="ignore"):
+            Tensor(np.array([0.0]), requires_grad=True).log()
+
+
+class TestBackward:
+    def test_injected_nan_in_fused_attention_backward(self, rng):
+        """Finite forward, poisoned seed gradient: the overflow is born in
+        fused_attention's backward and must be attributed to it."""
+        shape = (1, 1, 3, 2)
+        q = Tensor(rng.normal(size=shape), requires_grad=True)
+        k = Tensor(rng.normal(size=shape), requires_grad=True)
+        v = Tensor(rng.normal(size=shape), requires_grad=True)
+        with np.errstate(all="ignore"):
+            with pytest.raises(AnomalyError) as excinfo:
+                with detect_anomaly():
+                    context, _ = fused.scaled_dot_product_attention(
+                        q, k, v, scale=0.6
+                    )
+                    assert np.all(np.isfinite(context.data))  # forward is clean
+                    context.backward(np.full(shape, 1e308))
+        error = excinfo.value
+        assert error.op == "fused_attention"
+        assert error.phase == "backward"
+        assert "fused" in str(error)  # creation site points into fused.py
+
+    def test_backward_only_mode_skips_forward_checks(self):
+        with np.errstate(all="ignore"):
+            with detect_anomaly(check_forward=False):
+                bad = Tensor(np.array([0.0]), requires_grad=True).log()
+            assert np.isneginf(bad.data[0])  # forward NaN tolerated
+
+
+class TestGuardIntegration:
+    def test_report_anomaly_names_the_op(self):
+        guard = DivergenceGuard()
+        error = AnomalyError("fused_attention", "backward", "nan=3", site=None)
+        report = guard.report_anomaly(error)
+        assert report.reason == "anomaly"
+        assert "fused_attention" in report.detail
+        assert "backward" in report.detail
+
+    def test_trainer_rollback_reports_culpable_op(self, fast_config, rng):
+        """A poisoned loss under detect_anomaly=True rolls back with the op
+        named, and exhausting retries surfaces it in the final error."""
+        config = fast_config.with_overrides(
+            detect_anomaly=True, max_divergence_retries=1, preflight=False,
+        )
+        model = TFMAEModel(n_features=2, config=config)
+        real_loss = model.loss
+
+        def poisoned(windows):
+            loss, metrics = real_loss(windows)
+            return loss * Tensor(np.array(np.inf)), metrics
+
+        model.loss = poisoned
+        trainer = TFMAETrainer(model, config)
+        series = rng.normal(size=(3 * config.window_size, 2))
+        with np.errstate(all="ignore"):
+            with pytest.raises(TrainingDivergedError) as excinfo:
+                trainer.fit(series, verbose=False)
+        assert "anomaly" in str(excinfo.value)
+        assert "'mul'" in str(excinfo.value)
+        assert all(reason == "anomaly" for _, reason in trainer.log.rollbacks)

@@ -1,0 +1,143 @@
+"""The abstract graph checker: seeded defects must be named precisely.
+
+Two deliberately broken modules carry the acceptance-criteria defects —
+a broadcast bug and a dtype-mix bug — and the checker must name the
+culpable op for each; a third severs grad flow with a hidden detach.
+"""
+
+from __future__ import annotations
+
+import copy
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ShapeCheckError,
+    check_grad_flow,
+    preflight_model,
+    trace,
+)
+from repro.core.config import TFMAEConfig
+from repro.core.model import TFMAEModel
+from repro.nn import Module, Parameter, Tensor
+
+
+class BrokenBroadcast(Module):
+    """Projects (B, 5) inputs through a (4, 3) weight — shapes cannot meet."""
+
+    def __init__(self, rng):
+        super().__init__()
+        self.weight = Parameter(rng.normal(size=(4, 3)), name="weight")
+
+    def forward(self, x: np.ndarray) -> Tensor:
+        return Tensor(x) @ self.weight
+
+
+class BrokenDtypeMix(Module):
+    """Feeds a float32 tensor into an op against a float64 tensor."""
+
+    def __init__(self, rng):
+        super().__init__()
+        self.weight = Parameter(rng.normal(size=(5,)), name="weight")
+
+    def forward(self, x: np.ndarray) -> Tensor:
+        # Bypasses the nn.dtype policy deliberately: an explicit dtype pin
+        # on one operand but not the other.
+        lhs = Tensor(x, dtype=np.float32)
+        return (lhs * self.weight).sum()
+
+
+class BrokenGradFlow(Module):
+    """Hidden detach: the loss never reaches the second parameter."""
+
+    def __init__(self, rng):
+        super().__init__()
+        self.used = Parameter(rng.normal(size=(5,)), name="used")
+        self.orphan = Parameter(rng.normal(size=(5,)), name="orphan")
+
+    def forward(self, x: np.ndarray) -> Tensor:
+        live = (Tensor(x) * self.used).sum()
+        severed = Tensor(self.orphan.data * 2.0)  # repro: noqa[DET001] — the seeded defect under test
+        return live + severed.sum()
+
+
+class TestSeededDefects:
+    def test_broadcast_bug_names_matmul(self, rng):
+        model = BrokenBroadcast(rng)
+        with pytest.raises(ShapeCheckError) as excinfo:
+            trace(model, rng.normal(size=(2, 5)))
+        issues = excinfo.value.issues
+        assert any(i.kind == "broadcast" and i.op == "matmul" for i in issues)
+
+    def test_dtype_mix_bug_names_mul(self, rng):
+        model = BrokenDtypeMix(rng)
+        _, report = trace(model, rng.normal(size=(5,)))
+        mix = [i for i in report.issues if i.kind == "dtype_mix"]
+        assert len(mix) == 1
+        assert mix[0].op == "mul"
+        assert "float32" in mix[0].message and "float64" in mix[0].message
+        with pytest.raises(ShapeCheckError):
+            report.raise_if_issues()
+
+    def test_grad_flow_break_names_parameter(self, rng):
+        model = BrokenGradFlow(rng)
+        loss, report = trace(model, rng.normal(size=(5,)))
+        check_grad_flow(loss, model.named_parameters(), report)
+        broken = [i for i in report.issues if i.kind == "grad_flow"]
+        assert [i.op for i in broken] == ["orphan"]
+
+    def test_loss_without_grad_flagged(self, rng):
+        loss = Tensor(np.array(1.5))
+        report = check_grad_flow(loss, [])
+        assert [i.kind for i in report.issues] == ["loss_no_grad"]
+
+
+class TestCleanTrace:
+    def test_clean_module_passes(self, rng):
+        model = BrokenBroadcast(rng)
+        loss, report = trace(lambda x: (Tensor(x) @ model.weight).sum(),
+                             rng.normal(size=(2, 4)))
+        check_grad_flow(loss, model.named_parameters(), report)
+        assert report.ok
+        assert report.records  # the dispatch really was traced
+        assert {r.op for r in report.records} >= {"matmul", "sum"}
+
+    def test_records_carry_shapes_and_dtypes(self, rng):
+        _, report = trace(lambda x: Tensor(x).sum(), rng.normal(size=(3, 2)))
+        record = report.records[-1]
+        assert record.op == "sum"
+        assert record.input_shapes == ((3, 2),)
+        assert record.output_dtype == "float64"
+
+
+class TestPreflight:
+    def test_tfmae_default_config_is_clean(self, fast_config):
+        model = TFMAEModel(n_features=3, config=fast_config)
+        report = preflight_model(model)
+        assert report.ok and report.records
+
+    def test_tfmae_float32_policy_is_clean(self, fast_config):
+        config = fast_config.with_overrides(compute_dtype="float32")
+        model = TFMAEModel(n_features=3, config=config)
+        assert preflight_model(model).ok
+
+    def test_preflight_restores_rng_state(self, fast_config):
+        """Tracing must not perturb the training trajectory."""
+        model = TFMAEModel(n_features=3, config=fast_config)
+        before = copy.deepcopy(model.temporal.masker.rng.bit_generator.state)
+        preflight_model(model)
+        after = model.temporal.masker.rng.bit_generator.state
+        assert before == after
+
+    def test_preflight_flags_broken_model(self, rng):
+        inner = BrokenBroadcast(rng)
+        model = SimpleNamespace(
+            config=SimpleNamespace(window_size=5),
+            n_features=1,
+            loss=lambda windows: (inner(windows[:, :, 0]).sum(), {}),
+            named_parameters=inner.named_parameters,
+        )
+        with pytest.raises(ShapeCheckError, match="matmul"):
+            preflight_model(model)

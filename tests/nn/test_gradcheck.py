@@ -10,7 +10,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.nn import GradcheckError, Tensor, gradcheck
+from repro import nn
+from repro.nn import GradcheckError, Tensor, fused, gradcheck
 
 
 def _t(rng, shape, scale=1.0, shift=0.0):
@@ -137,3 +138,100 @@ class TestTensorPrimitives:
 
     def test_log_softmax_composition(self, rng):
         assert gradcheck(lambda t: t.log_softmax(axis=-1), _t(rng, (3, 4)))
+
+
+def _t32(rng, shape, scale=1.0, shift=0.0):
+    return Tensor(rng.normal(size=shape) * scale + shift,
+                  requires_grad=True, dtype=np.float32)
+
+
+class TestFusedFloat32:
+    """Fused kernels swept under the ``compute_dtype="float32"`` policy.
+
+    The float64 sweep in ``tests/nn/test_fused.py`` certifies the gradient
+    *formulas*; this sweep certifies they stay usable when the whole graph
+    — forwards, saved intermediates, and the hand-written backwards — runs
+    in float32, as it does for a ``compute_dtype="float32"`` model.  The
+    coarse ``eps`` rides above float32 rounding noise while the loosened
+    tolerances stay tight enough that a wrong formula (any missing factor)
+    still fails, which ``test_still_rejects_wrong_gradient`` pins down.
+    """
+
+    TOL = {"eps": 1e-2, "atol": 1e-2, "rtol": 1e-2, "allow_float32": True}
+
+    def test_softmax(self, rng):
+        with nn.default_dtype(np.float32):
+            assert gradcheck(fused.softmax, _t32(rng, (3, 5)), **self.TOL)
+
+    def test_log_softmax(self, rng):
+        with nn.default_dtype(np.float32):
+            assert gradcheck(fused.log_softmax, _t32(rng, (3, 5)), **self.TOL)
+
+    def test_layer_norm(self, rng):
+        with nn.default_dtype(np.float32):
+            assert gradcheck(
+                fused.layer_norm,
+                _t32(rng, (2, 4, 5)),
+                _t32(rng, (5,)),
+                _t32(rng, (5,)),
+                **self.TOL,
+            )
+
+    def test_gelu(self, rng):
+        with nn.default_dtype(np.float32):
+            assert gradcheck(fused.gelu, _t32(rng, (12,), scale=2.0), **self.TOL)
+
+    def test_dropout_residual(self, rng):
+        with nn.default_dtype(np.float32):
+            assert gradcheck(
+                lambda x, res: fused.dropout_residual(
+                    x, res, p=0.3, training=True, rng=np.random.default_rng(11)
+                ),
+                _t32(rng, (4, 3)),
+                _t32(rng, (4, 3)),
+                **self.TOL,
+            )
+
+    def test_attention(self, rng):
+        shape = (1, 2, 4, 3)
+        with nn.default_dtype(np.float32):
+            assert gradcheck(
+                lambda q, k, v: fused.scaled_dot_product_attention(
+                    q, k, v, scale=0.6
+                )[0],
+                _t32(rng, shape),
+                _t32(rng, shape),
+                _t32(rng, shape),
+                **self.TOL,
+            )
+
+    def test_attention_with_dropout(self, rng):
+        shape = (1, 1, 3, 2)
+        with nn.default_dtype(np.float32):
+            assert gradcheck(
+                lambda q, k, v: fused.scaled_dot_product_attention(
+                    q, k, v, scale=0.6, dropout_p=0.4, training=True,
+                    rng=np.random.default_rng(5),
+                )[0],
+                _t32(rng, shape),
+                _t32(rng, shape),
+                _t32(rng, shape),
+                **self.TOL,
+            )
+
+    def test_still_rejects_wrong_gradient(self, rng):
+        """The loosened float32 tolerances must not excuse a wrong formula."""
+
+        def bad_square(x: Tensor) -> Tensor:
+            def backward(grad):
+                x._accumulate(grad * x.data)  # missing the factor of 2
+
+            return Tensor._make(x.data**2, (x,), backward)
+
+        with nn.default_dtype(np.float32):
+            with pytest.raises(GradcheckError):
+                gradcheck(
+                    lambda t: bad_square(t).sum(),
+                    _t32(rng, (3,), shift=1.0),
+                    **self.TOL,
+                )

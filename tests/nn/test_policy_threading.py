@@ -1,0 +1,175 @@
+"""Thread-locality of the fused and dtype policy switches.
+
+The serve scheduler's worker pool and the trainer can run on different
+threads of one process; a thread flipping a policy inside ``use_fused``/
+``default_dtype`` must never be observed by any other thread, while
+``set_fused``/``set_default_dtype`` remain the shared process defaults.
+The two-thread concurrent-flip tests are the regression for the bug
+where ``set_fused`` was the only switch and a test flipping to the
+reference path could drag a concurrent worker with it.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro import nn
+from repro.nn import Tensor, fused
+
+
+def _run_both(worker_a, worker_b):
+    """Run two workers concurrently; re-raise the first failure."""
+    errors = []
+
+    def wrap(fn):
+        def run():
+            try:
+                fn()
+            except BaseException as error:  # pragma: no cover - surfaced below
+                errors.append(error)
+        return run
+
+    threads = [threading.Thread(target=wrap(worker_a)),
+               threading.Thread(target=wrap(worker_b))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+class TestFusedThreadLocal:
+    def test_concurrent_flips_do_not_leak(self):
+        barrier = threading.Barrier(2)
+        iterations = 200
+
+        def flip_off():
+            barrier.wait()
+            for _ in range(iterations):
+                with fused.use_fused(False):
+                    assert fused.fused_enabled() is False
+
+        def flip_on():
+            barrier.wait()
+            for _ in range(iterations):
+                with fused.use_fused(True):
+                    assert fused.fused_enabled() is True
+
+        _run_both(flip_off, flip_on)
+        assert fused.fused_enabled() is True  # process default untouched
+
+    def test_override_invisible_to_other_thread(self):
+        entered = threading.Event()
+        release = threading.Event()
+        seen = {}
+
+        def overrider():
+            with fused.use_fused(False):
+                entered.set()
+                release.wait(timeout=5)
+
+        def observer():
+            entered.wait(timeout=5)
+            seen["enabled"] = fused.fused_enabled()
+            release.set()
+
+        _run_both(overrider, observer)
+        assert seen["enabled"] is True
+
+    def test_set_fused_is_the_shared_default(self):
+        seen = {}
+        try:
+            fused.set_fused(False)
+            thread = threading.Thread(
+                target=lambda: seen.update(enabled=fused.fused_enabled())
+            )
+            thread.start()
+            thread.join()
+        finally:
+            fused.set_fused(True)
+        assert seen["enabled"] is False
+
+    def test_thread_local_wins_over_process_default(self):
+        try:
+            fused.set_fused(False)
+            with fused.use_fused(True):
+                assert fused.fused_enabled() is True
+            assert fused.fused_enabled() is False
+        finally:
+            fused.set_fused(True)
+
+    def test_nested_overrides_restore(self):
+        with fused.use_fused(False):
+            with fused.use_fused(True):
+                assert fused.fused_enabled() is True
+            assert fused.fused_enabled() is False
+        assert fused.fused_enabled() is True
+
+
+class TestDtypeThreadLocal:
+    def test_concurrent_flips_do_not_leak(self):
+        barrier = threading.Barrier(2)
+        iterations = 200
+
+        def float32_worker():
+            barrier.wait()
+            for _ in range(iterations):
+                with nn.default_dtype(np.float32):
+                    assert Tensor([1.0]).data.dtype == np.float32
+
+        def float64_worker():
+            barrier.wait()
+            for _ in range(iterations):
+                with nn.default_dtype(np.float64):
+                    assert Tensor([1.0]).data.dtype == np.float64
+
+        _run_both(float32_worker, float64_worker)
+        assert Tensor([1.0]).data.dtype == np.float64
+
+    def test_override_invisible_to_other_thread(self):
+        entered = threading.Event()
+        release = threading.Event()
+        seen = {}
+
+        def overrider():
+            with nn.default_dtype(np.float32):
+                entered.set()
+                release.wait(timeout=5)
+
+        def observer():
+            entered.wait(timeout=5)
+            seen["dtype"] = Tensor([1.0]).data.dtype
+            release.set()
+
+        _run_both(overrider, observer)
+        assert seen["dtype"] == np.float64
+
+
+class TestMixedPolicyWorkers:
+    def test_fused_and_dtype_flip_together(self):
+        """A float32/reference-path thread next to a float64/fused thread —
+        the serve-scheduler scenario that motivated thread-locality."""
+        barrier = threading.Barrier(2)
+
+        def reference_float32():
+            barrier.wait()
+            for _ in range(50):
+                with fused.use_fused(False), nn.default_dtype(np.float32):
+                    x = Tensor(np.ones((2, 3)), requires_grad=True)
+                    y = x.softmax(axis=-1)
+                    assert y.data.dtype == np.float32
+                    assert fused.fused_enabled() is False
+
+        def fused_float64():
+            barrier.wait()
+            for _ in range(50):
+                with fused.use_fused(True), nn.default_dtype(np.float64):
+                    x = Tensor(np.ones((2, 3)), requires_grad=True)
+                    y = x.softmax(axis=-1)
+                    assert y.data.dtype == np.float64
+                    assert fused.fused_enabled() is True
+
+        _run_both(reference_float32, fused_float64)
