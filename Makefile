@@ -1,6 +1,6 @@
 # Convenience targets for the TFMAE reproduction.
 
-.PHONY: install test lint check bench bench-tables bench-figures perf robustness serve serve-bench examples clean
+.PHONY: install test lint check bench bench-tables bench-figures perf jit-bench robustness serve serve-bench examples clean
 
 install:
 	python setup.py develop
@@ -36,6 +36,13 @@ perf:
 	PYTHONPATH=src python benchmarks/bench_nn_kernels.py
 	PYTHONPATH=src pytest tests/nn/test_fused.py tests/core/test_batched_scoring.py -q
 	PYTHONPATH=src pytest benchmarks/bench_nn_kernels.py --benchmark-only -s
+
+# Trace-compiled scoring: jit vs interpreted score_last.  Point
+# REPRO_BENCH_JIT_BASELINE at a pre-JIT checkout's src/ to also measure
+# the historical interpreted baseline (see bench_jit_scoring.py).
+jit-bench:
+	PYTHONPATH=src pytest tests/nn/test_jit.py -q
+	PYTHONPATH=src python benchmarks/bench_jit_scoring.py
 
 robustness:
 	PYTHONPATH=src pytest tests/core/test_fault_tolerance.py \

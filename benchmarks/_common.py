@@ -23,6 +23,7 @@ Each bench prints its table and writes a copy under
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -106,3 +107,17 @@ def save_result(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n{text}\n")
+
+
+def save_json(name: str, payload: dict) -> None:
+    """Persist a machine-readable summary as ``BENCH_<name>.json``.
+
+    Every perf bench emits one of these next to its text table so CI and
+    tooling can track numbers without parsing tables.  The payload is
+    stamped with the bench name and the scale/epochs knobs it ran under.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    record = {"bench": name, "scale": SCALE, "epochs": EPOCHS, **payload}
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"[bench] wrote {path}")

@@ -10,6 +10,7 @@ from .base import LintViolation, Rule
 from .detach import DetachRule
 from .dtype import Float64Rule
 from .exceptions import BareExceptRule
+from .jit import JitTensorRule
 from .mutation import InPlaceMutationRule
 from .rng import GlobalRandomRule
 from .state import UnlockedStateRule
@@ -24,4 +25,5 @@ ALL_RULES: tuple[Rule, ...] = (
     BareExceptRule(),
     DetachRule(),
     Float64Rule(),
+    JitTensorRule(),
 )

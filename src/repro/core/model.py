@@ -25,11 +25,20 @@ from .. import nn
 from ..masking import FrequencyMasker, TemporalMasker
 from ..nn import Module, Parameter, Tensor
 from ..nn import functional as F
-from ..nn import init
+from ..nn import fused, init, jit
+from ..nn.dtype import resolve_dtype
+from ..nn.tensor import _as_array
 from ..nn.transformer import TransformerStack, sinusoidal_positional_encoding
 from .config import TFMAEConfig
 
 __all__ = ["TemporalBranch", "FrequencyBranch", "TFMAEModel"]
+
+#: Negative-cache marker: this specialization key hit a trace-unsupported
+#: op; keep using the interpreted path without re-tracing every call.
+_UNSUPPORTED = object()
+
+#: Most cached tapes per model (each holds per-thread buffer frames).
+_TAPE_CACHE_SIZE = 8
 
 
 class TemporalBranch(Module):
@@ -64,39 +73,86 @@ class TemporalBranch(Module):
             )
         else:
             self.decoder = None
-        self._pe_cache: dict[int, np.ndarray] = {}
+        self._pe_cache: dict[tuple, np.ndarray] = {}
 
     def _positional_encoding(self, length: int) -> np.ndarray:
-        if length not in self._pe_cache:
-            self._pe_cache[length] = sinusoidal_positional_encoding(length, self.config.d_model)
-        return self._pe_cache[length]
+        """Positional encoding pre-cast to the active compute dtype.
+
+        The table itself is deterministic float64 per length; caching the
+        cast per (length, dtype) saves a fresh ``astype`` copy on every
+        float32 prelude call.  Consumers only read the slot array, so one
+        shared array across calls is safe.
+        """
+        key = (length, resolve_dtype())
+        pe = self._pe_cache.get(key)
+        if pe is None:
+            pe = _as_array(sinusoidal_positional_encoding(length, self.config.d_model))
+            self._pe_cache[key] = pe
+        return pe
 
     def forward(self, windows: np.ndarray) -> Tensor:
+        slots = self.prelude(windows)
+        slots["windows"] = _as_array(windows)
+        return self.graph(slots)
+
+    def prelude(self, windows: np.ndarray) -> dict:
+        """Data-dependent stage: masking, PE lookups, index construction.
+
+        Runs interpreted on *every* call (it consumes the masker's RNG
+        and produces data-dependent index arrays); its outputs are the
+        named input slots the pure-tensor :meth:`graph` stage reads, so
+        the jit tracer can keep them dynamic across tape replays.  Slot
+        arrays are pre-cast to the active compute dtype so wrapping them
+        in a ``Tensor`` inside the graph stage is identity-preserving.
+        """
         batch, time, _ = windows.shape
         result = self.masker(windows)
         pe = self._positional_encoding(time)
-        projected = self.projection(Tensor(windows))  # (B, T, D), Eq. 3 for all t
-
         num_masked = result.num_masked
-        rows = np.arange(batch)[:, None]
-
+        slots = {
+            "t_pe": pe,
+            "t_mask": result.mask[:, :, None],
+        }
         if self.encoder is not None and 0 < num_masked < time:
+            # The masker just built (and cached) this exact index array.
+            slots["t_rows"] = self.masker._row_cache[batch]
+            slots["t_unmasked"] = result.unmasked_indices
+            # Fancy indexing the pre-cast table copies exactly the rows
+            # needed; cast-then-index is bitwise index-then-cast.
+            slots["t_pe_unmasked"] = pe[result.unmasked_indices]
+        else:
+            # The branch structure is static per (shape, config): the
+            # masked count is a data-independent function of the window
+            # length, so this flag never flips between calls sharing a
+            # tape key.  (Non-array slot values are ignored by the
+            # tracer's identity map.)
+            slots["t_encode_full"] = self.encoder is not None and num_masked == 0
+        return slots
+
+    def graph(self, slots: dict) -> Tensor:
+        """Pure-tensor stage over named input slots (jit-traceable)."""
+        projected = self.projection(Tensor(slots["windows"]))  # (B, T, D), Eq. 3
+        pe = slots["t_pe"]
+
+        if "t_rows" in slots:
             # Encode only the unmasked tokens, at their original positions.
-            unmasked = projected[rows, result.unmasked_indices]
-            unmasked = unmasked + Tensor(pe[result.unmasked_indices])
+            index = (slots["t_rows"], slots["t_unmasked"])
+            unmasked = projected[index]
+            unmasked = unmasked + Tensor(slots["t_pe_unmasked"])
             encoded = self.encoder(unmasked)
+            batch, time = slots["t_mask"].shape[:2]
             unmasked_full = Tensor.scatter(
-                encoded, (rows, result.unmasked_indices), (batch, time, self.config.d_model)
+                encoded, index, (batch, time, self.config.d_model)
             )
         else:
             # No masking (or no encoder): the "unmasked representation" is
             # the position-encoded projection, optionally encoded whole.
             full = projected + Tensor(pe)
-            unmasked_full = self.encoder(full) if (self.encoder is not None and num_masked == 0) else full
+            unmasked_full = self.encoder(full) if slots["t_encode_full"] else full
 
         # Insert mask tokens (with positional encoding) at masked slots.
         masked_value = self.mask_token + Tensor(pe)  # (T, D), broadcasts over batch
-        decoder_input = Tensor.where(result.mask[:, :, None], masked_value, unmasked_full)
+        decoder_input = Tensor.where(slots["t_mask"], masked_value, unmasked_full)
 
         if self.decoder is not None:
             return self.decoder(decoder_input)
@@ -128,25 +184,53 @@ class FrequencyBranch(Module):
             )
         else:
             self.decoder = None
-        self._pe_cache: dict[int, np.ndarray] = {}
+        self._pe_cache: dict[tuple, np.ndarray] = {}
 
     def _positional_encoding(self, length: int) -> np.ndarray:
-        if length not in self._pe_cache:
-            self._pe_cache[length] = sinusoidal_positional_encoding(length, self.config.d_model)
-        return self._pe_cache[length]
+        """Positional encoding pre-cast to the active compute dtype.
+
+        The table itself is deterministic float64 per length; caching the
+        cast per (length, dtype) saves a fresh ``astype`` copy on every
+        float32 prelude call.  Consumers only read the slot array, so one
+        shared array across calls is safe.
+        """
+        key = (length, resolve_dtype())
+        pe = self._pe_cache.get(key)
+        if pe is None:
+            pe = _as_array(sinusoidal_positional_encoding(length, self.config.d_model))
+            self._pe_cache[key] = pe
+        return pe
 
     def forward(self, windows: np.ndarray) -> Tensor:
+        return self.graph(self.prelude(windows))
+
+    def prelude(self, windows: np.ndarray) -> dict:
+        """Data-dependent stage: frequency masking and basis construction.
+
+        Same contract as :meth:`TemporalBranch.prelude` — runs every
+        call, emits compute-dtype slot arrays for the traceable
+        :meth:`graph` stage.
+        """
         _, time, _ = windows.shape
         result = self.masker(windows)
+        return {
+            "f_fixed": _as_array(result.fixed),
+            "f_cos": _as_array(result.cos_basis),
+            "f_sin": _as_array(result.sin_basis),
+            "f_pe": self._positional_encoding(time),
+        }
+
+    def graph(self, slots: dict) -> Tensor:
+        """Pure-tensor stage over named input slots (jit-traceable)."""
         # Eq. 9-10: replaced spectrum inverted to the time domain, with the
         # learnable token entering through the linear basis decomposition.
         masked_series = (
-            Tensor(result.fixed)
-            + self.mask_token_re * Tensor(result.cos_basis)
-            - self.mask_token_im * Tensor(result.sin_basis)
+            Tensor(slots["f_fixed"])
+            + self.mask_token_re * Tensor(slots["f_cos"])
+            - self.mask_token_im * Tensor(slots["f_sin"])
         )
         representation = self.projection(masked_series)
-        representation = representation + Tensor(self._positional_encoding(time))  # Eq. 11
+        representation = representation + Tensor(slots["f_pe"])  # Eq. 11
         if self.decoder is not None:
             return self.decoder(representation)
         return representation
@@ -179,6 +263,10 @@ class TFMAEModel(Module):
         else:
             self.frequency = None
 
+        # Compiled scoring tapes keyed (window shape, compute dtype,
+        # fused policy); _UNSUPPORTED negative-caches untraceable keys.
+        self._tapes: dict = {}
+
         self._dual = self.temporal is not None and self.frequency is not None
         if not self._dual:
             # Single-branch ablations fall back to reconstruction; they
@@ -194,14 +282,17 @@ class TFMAEModel(Module):
     # ------------------------------------------------------------------
     # forward passes
     # ------------------------------------------------------------------
-    def forward(self, windows: np.ndarray) -> tuple[Tensor | None, Tensor | None]:
-        """Return ``(P^(L), F^(L))``; a missing branch yields ``None``."""
+    def _validate_windows(self, windows: np.ndarray) -> None:
         if windows.ndim != 3:
             raise ValueError(f"expected (batch, time, features), got shape {windows.shape}")
         if windows.shape[-1] != self.n_features:
             raise ValueError(
                 f"model built for {self.n_features} features, got {windows.shape[-1]}"
             )
+
+    def forward(self, windows: np.ndarray) -> tuple[Tensor | None, Tensor | None]:
+        """Return ``(P^(L), F^(L))``; a missing branch yields ``None``."""
+        self._validate_windows(windows)
         # Every tensor built inside the branches follows the model's
         # compute-dtype policy (thread-local, so a float32 model serving
         # traffic never disturbs float64 work elsewhere).
@@ -262,16 +353,71 @@ class TFMAEModel(Module):
         Returns an array of shape ``(batch, time)``.  Dual-branch mode uses
         the symmetric KL discrepancy (Eq. 16); single-branch ablations use
         the per-point reconstruction error.
+
+        When tape-replay scoring is enabled (:func:`repro.nn.jit.use_jit`,
+        the default) the tensor-graph stage runs from a compiled tape
+        after the first call per (shape, dtype, fused-policy) key; replay
+        output is bitwise-identical to the interpreted graph.
         """
+        if jit.jit_enabled():
+            return self._jit_score(windows)
+        self._validate_windows(windows)
         with nn.no_grad(), nn.default_dtype(self.compute_dtype):
-            p, f = self.forward(windows)
-            if self._dual:
-                score = F.symmetric_kl(p, f, reduce=False)
-                # Scores are float64 by contract regardless of compute_dtype
-                # (thresholds/metrics compare across policies).
-                return score.data.astype(np.float64, copy=False)  # repro: noqa[F64001]
-            representation = p if p is not None else f
-            reconstruction = self.reconstruction_head(representation)
-            error = (reconstruction - Tensor(windows)) ** 2
-            # Same float64 score contract as the dual-branch path above.
-            return error.data.mean(axis=-1).astype(np.float64, copy=False)  # repro: noqa[F64001]
+            score = self._score_graph(self._score_prelude(windows))
+            return self._score_post(score.data, interpreted=True)
+
+    # -- trace-compiled scoring (see repro.nn.jit) ----------------------
+    def _score_prelude(self, windows: np.ndarray) -> dict:
+        """Interpreted per-call stage: maskers, PE, index slots."""
+        slots = {"windows": _as_array(windows)}
+        if self.temporal is not None:
+            slots.update(self.temporal.prelude(windows))
+        if self.frequency is not None:
+            slots.update(self.frequency.prelude(windows))
+        return slots
+
+    def _score_graph(self, slots: dict) -> Tensor:
+        """Pure-tensor scoring graph over prelude slots (jit-traceable)."""
+        p = self.temporal.graph(slots) if self.temporal is not None else None
+        f = self.frequency.graph(slots) if self.frequency is not None else None
+        if self._dual:
+            return F.symmetric_kl(p, f, reduce=False)
+        representation = p if p is not None else f
+        reconstruction = self.reconstruction_head(representation)
+        return (reconstruction - Tensor(slots["windows"])) ** 2
+
+    def _score_post(self, data: np.ndarray, interpreted: bool = False) -> np.ndarray:
+        """Final numpy stage: float64 score contract, owned output.
+
+        Scores are float64 by contract regardless of compute_dtype
+        (thresholds/metrics compare across policies).  Tape replay hands
+        back a live frame buffer, so that path always copies.
+        """
+        if self._dual:
+            if interpreted:
+                return data.astype(np.float64, copy=False)  # repro: noqa[F64001]
+            return np.array(data, dtype=np.float64)  # repro: noqa[F64001]
+        return data.mean(axis=-1).astype(np.float64, copy=False)  # repro: noqa[F64001]
+
+    def _jit_score(self, windows: np.ndarray) -> np.ndarray:
+        self._validate_windows(windows)
+        key = (windows.shape, self.compute_dtype, fused.fused_enabled())
+        with nn.no_grad(), nn.default_dtype(self.compute_dtype):
+            slots = self._score_prelude(windows)
+            tape = self._tapes.get(key)
+            if tape is _UNSUPPORTED:
+                score = self._score_graph(slots)
+                return self._score_post(score.data, interpreted=True)
+            if tape is not None:
+                if tape.guards_ok():
+                    return self._score_post(tape.replay(slots))
+                # A parameter array was rebound (checkpoint load, publish,
+                # dtype cast): every cached tape refers to stale arrays.
+                self._tapes.clear()
+            out, tape = jit.trace(
+                lambda: self._score_graph(slots), slots, self.parameters()
+            )
+            self._tapes[key] = tape if tape is not None else _UNSUPPORTED
+            while len(self._tapes) > _TAPE_CACHE_SIZE:
+                self._tapes.pop(next(iter(self._tapes)))
+            return self._score_post(out.data, interpreted=True)

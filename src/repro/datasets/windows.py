@@ -76,17 +76,25 @@ def batched_window_scores(
     trailing shape); chunking bounds peak memory to ``batch_size`` windows
     of model activations while producing output identical to a single
     full-batch call (every model scores windows row-independently).
+
+    Multi-chunk runs write every chunk's scores straight into one
+    preallocated output array instead of accumulating per-chunk arrays
+    and concatenating; a single-chunk call (the serving batch-of-one
+    path included) returns ``score_fn``'s result as-is — zero copies.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
     count = len(windows)
     if count == 0:
         return np.empty((0,), dtype=np.float64)
-    parts = [
-        np.asarray(score_fn(windows[start : start + batch_size]))
-        for start in range(0, count, batch_size)
-    ]
-    return parts[0] if len(parts) == 1 else np.concatenate(parts, axis=0)
+    first = np.asarray(score_fn(windows[:batch_size]))
+    if count <= batch_size:
+        return first
+    out = np.empty((count,) + first.shape[1:], dtype=first.dtype)
+    out[: len(first)] = first
+    for start in range(batch_size, count, batch_size):
+        out[start : start + batch_size] = score_fn(windows[start : start + batch_size])
+    return out
 
 
 def score_series(series: np.ndarray, size: int, score_fn, batch_size: int = 64) -> np.ndarray:

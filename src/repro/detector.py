@@ -35,7 +35,17 @@ def check_finite_series(series: np.ndarray, name: str = "series") -> np.ndarray:
     :class:`repro.robustness.FaultPolicy`.
     """
     series = np.asarray(series)
-    if not np.all(np.isfinite(series)):
+    # Hot-path form of ``isfinite(series).all()``: a min/max scan needs no
+    # boolean temporary, and the result is equivalent — NaN propagates
+    # through ``minimum.reduce``/``maximum.reduce``, +/-Inf survives to the
+    # extremes.  (Non-real dtypes take the straightforward path.)
+    if series.dtype.kind in "fiub":
+        finite = series.size == 0 or (
+            bool(np.isfinite(series.min())) and bool(np.isfinite(series.max()))
+        )
+    else:
+        finite = bool(np.all(np.isfinite(series)))
+    if not finite:
         raise ValueError(
             f"{name} contains NaN/Inf values; impute or drop them first "
             "(streaming callers can use repro.robustness.FaultPolicy)"

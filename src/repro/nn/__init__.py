@@ -6,10 +6,11 @@ layers, recurrent/convolutional layers for the baselines, and the Adam
 optimiser the paper trains with.
 """
 
-from . import functional, fused
+from . import functional, fused, jit
 from .attention import MultiHeadSelfAttention
 from .dtype import default_dtype, get_default_dtype, set_default_dtype
 from .gradcheck import GradcheckError, gradcheck
+from .jit import jit_enabled, set_jit, use_jit
 from .layers import (
     GELU,
     GRU,
@@ -45,6 +46,10 @@ __all__ = [
     "Parameter",
     "functional",
     "fused",
+    "jit",
+    "jit_enabled",
+    "set_jit",
+    "use_jit",
     "gradcheck",
     "GradcheckError",
     "default_dtype",

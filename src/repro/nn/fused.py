@@ -139,7 +139,8 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
         inner = (grad * out_data).sum(axis=axis, keepdims=True)
         x._accumulate(out_data * (grad - inner))
 
-    return Tensor._make(out_data, (x,), backward, op="fused_softmax")
+    return Tensor._make(out_data, (x,), backward, op="fused_softmax",
+                        meta={"axis": axis})
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -151,7 +152,8 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         x._accumulate(grad - np.exp(out_data) * grad.sum(axis=axis, keepdims=True))
 
-    return Tensor._make(out_data, (x,), backward, op="fused_log_softmax")
+    return Tensor._make(out_data, (x,), backward, op="fused_log_softmax",
+                        meta={"axis": axis})
 
 
 def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
@@ -179,7 +181,8 @@ def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Te
         weight._accumulate(_unbroadcast(grad * x_hat, weight.shape))
         bias._accumulate(_unbroadcast(grad, bias.shape))
 
-    return Tensor._make(out_data, (x, weight, bias), backward, op="fused_layer_norm")
+    return Tensor._make(out_data, (x, weight, bias), backward, op="fused_layer_norm",
+                        meta={"eps": eps})
 
 
 def gelu(x: Tensor) -> Tensor:
@@ -228,7 +231,8 @@ def dropout_residual(
         residual._accumulate(_unbroadcast(grad, residual.shape))
         x._accumulate(_unbroadcast(grad if mask is None else grad * mask, x.shape))
 
-    return Tensor._make(out_data, (x, residual), backward, op="fused_dropout_residual")
+    return Tensor._make(out_data, (x, residual), backward, op="fused_dropout_residual",
+                        meta={"mask": mask})
 
 
 def scaled_dot_product_attention(
@@ -277,7 +281,8 @@ def scaled_dot_product_attention(
         q._accumulate(grad_scores @ k_data)
         k._accumulate(np.swapaxes(grad_scores, -1, -2) @ q_data)
 
-    return Tensor._make(out_data, (q, k, v), backward, op="fused_attention"), weights
+    return Tensor._make(out_data, (q, k, v), backward, op="fused_attention",
+                        meta={"scale": scale, "mask": mask}), weights
 
 
 # ----------------------------------------------------------------------

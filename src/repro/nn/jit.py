@@ -1,0 +1,783 @@
+"""Trace-compiled inference: a tape-replay JIT for ``repro.nn`` scoring.
+
+The interpreted autograd graph pays, per op, a wrapper allocation, Python
+dispatch through ``Tensor._make``, and graph bookkeeping that inference
+never uses.  This module removes all of it from the scoring hot path:
+
+1. **Trace** — one *real* interpreted forward runs under the thread-local
+   :class:`repro.nn.tensor.op_hook`.  The :class:`_TapeBuilder` hook
+   observes every dispatched op and records a flat step list: the op
+   name, resolved argument references, and the op's non-tensor metadata.
+   The traced call's own result is returned to the caller, so tracing
+   costs one interpreted forward and nothing more.
+2. **Compile** — the step list becomes a :class:`Tape`: the whole tape
+   is code-generated into **one** Python function (``exec``-compiled
+   once at build time) whose body is the raw numpy kernel sequence —
+   step outputs are locals, input slots and frame buffers are hoisted
+   once per call, baked constants live in a captured pool.  A small
+   liveness planner reuses output buffers across steps (a buffer freed
+   at step ``s`` is reusable from ``s + 1``, so a kernel never aliases
+   its own inputs); pure views (``transpose``, sharing ``reshape``/
+   ``getitem``) are recreated per call instead of buffered.
+3. **Replay** — subsequent calls with the same specialization key call
+   the generated function over a per-thread buffer frame: zero tensor
+   wrapping, zero graph construction, zero per-step dispatch, zero
+   per-op allocation for the buffered steps.
+
+Argument references are resolved **by identity** at trace time:
+
+* an array produced by an earlier traced op → that step's output;
+* an array registered in the caller's input-slot dict → the slot name,
+  looked up fresh on every replay (this is how data-dependent values —
+  mask indices, positional encodings, the windows themselves — stay
+  dynamic);
+* a parameter's array → baked into the constant pool and protected
+  by a **guard**: before replay, :meth:`Tape.guards_ok` checks
+  ``param.data is traced_array`` for every referenced parameter, so
+  rebinding parameters (``load_state_dict``, publish/refit,
+  ``to_dtype``) invalidates the tape, while in-place optimizer updates
+  keep the identity and are picked up automatically;
+* any other array of ``size <= 1`` → baked as a constant;
+* anything else → :class:`TraceUnsupported`, which soft-fails the trace
+  (the interpreted result is still returned; the caller caches the key
+  as unsupported and keeps using the interpreted path).
+
+Every replay kernel mirrors the *exact* numpy operation sequence of the
+interpreted op (including the fused kernels of :mod:`repro.nn.fused`),
+so replay output is bitwise-identical to the interpreted graph in both
+float64 and float32.
+
+Known replay differences (documented, not observable through scores):
+op hooks do not see replayed kernels, and attention's
+``last_attention`` diagnostic is not refreshed during replay.
+
+The :func:`use_jit` / :func:`set_jit` / :func:`jit_enabled` switch trio
+mirrors :mod:`repro.nn.fused` exactly: a process-wide default plus a
+nestable thread-local override.
+
+This module never constructs tensors — it only observes them through
+the hook.  Lint rule JIT001 (:mod:`repro.analysis`) enforces this.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+
+import numpy as np
+
+from .fused import _GELU_COEFF, _SQRT_2_OVER_PI
+from .tensor import op_hook
+
+__all__ = [
+    "jit_enabled",
+    "set_jit",
+    "use_jit",
+    "trace",
+    "Tape",
+    "TraceUnsupported",
+]
+
+#: ``np.<fn>(`` / ``np.<ufunc>.at(`` / ``np.<ufunc>.reduce(`` call tokens
+#: in generated replay source, for hoisting into compile-time-bound
+#: default arguments.
+_NP_CALL = re.compile(r"np\.(\w+(?:\.(?:at|reduce))?)\(")
+
+_global_enabled = True
+_local = threading.local()
+
+
+def jit_enabled() -> bool:
+    """Whether tape-replay scoring is active on this thread (default True).
+
+    A thread-local :class:`use_jit` override wins over the
+    :func:`set_jit` process default.
+    """
+    stack = getattr(_local, "stack", None)
+    if stack:
+        return stack[-1]
+    return _global_enabled
+
+
+def set_jit(enabled: bool) -> None:
+    """Set the process-wide default for tape-replay scoring.
+
+    Threads currently inside a :class:`use_jit` block keep their own
+    override; everyone else observes the new default immediately.
+    """
+    global _global_enabled
+    _global_enabled = bool(enabled)
+
+
+class use_jit:
+    """Thread-local tape-replay override, usable as a context manager.
+
+    Scoped to the current thread only (mirroring
+    :class:`repro.nn.fused.use_fused`), so a test or benchmark pinning
+    the interpreted path never disturbs concurrent serving threads.
+    """
+
+    def __init__(self, enabled: bool):
+        self.enabled = bool(enabled)
+
+    def __enter__(self) -> "use_jit":
+        stack = getattr(_local, "stack", None)
+        if stack is None:
+            stack = _local.stack = []
+        stack.append(self.enabled)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _local.stack.pop()
+
+
+class TraceUnsupported(RuntimeError):
+    """An op (or argument) the tape builder cannot replay."""
+
+
+# Argument-reference kinds: an earlier step's output, a named input
+# slot (resolved fresh each replay), or a baked constant.
+_STEP, _SLOT, _CONST = 0, 1, 2
+
+
+class _Step:
+    """One observed op: its output array (trace-time), args, and meta."""
+
+    __slots__ = ("op", "out_data", "parent_datas", "refs", "meta")
+
+    def __init__(self, op, out_data, parent_datas, refs, meta):
+        self.op = op
+        self.out_data = out_data
+        self.parent_datas = parent_datas
+        self.refs = refs
+        self.meta = meta
+
+
+class _TapeBuilder:
+    """Op hook that records one interpreted forward as a flat step list.
+
+    Failure is *soft*: on the first unsupported op the builder sets
+    :attr:`failed` and stops recording, letting the traced forward run
+    to completion so its interpreted result is still valid (and any
+    RNG consumed by the caller's prelude is consumed exactly once).
+    """
+
+    def __init__(self, slots: dict, params) -> None:
+        self._slot_ids = {
+            id(value): name
+            for name, value in slots.items()
+            if isinstance(value, np.ndarray)
+        }
+        self._param_ids = {id(p.data): p for p in params}
+        self.steps: list[_Step] = []
+        self.tensor_step: dict[int, int] = {}
+        # Every observed output tensor is kept alive for the duration of
+        # the trace: under no_grad the graph holds no parent references,
+        # and a collected tensor's id could be reused mid-trace.
+        self.keepalive: list = []
+        self.guards: list = []
+        self._guard_ids: set[int] = set()
+        self.failed: str | None = None
+
+    # -- hook interface -------------------------------------------------
+    def after_forward(self, out, parents) -> None:
+        if self.failed is not None:
+            return
+        op = out.op
+        try:
+            if op not in _COMPILERS:
+                raise TraceUnsupported(f"op {op!r} has no replay kernel")
+            refs = tuple(self._resolve_parent(p) for p in parents)
+            meta = self._resolve_meta(op, getattr(out, "_meta", None))
+        except TraceUnsupported as error:
+            self.failed = str(error)
+            return
+        index = len(self.steps)
+        self.steps.append(
+            _Step(op, out.data, tuple(p.data for p in parents), refs, meta)
+        )
+        self.tensor_step[id(out)] = index
+        self.keepalive.append(out)
+
+    # -- reference resolution -------------------------------------------
+    def _resolve_parent(self, parent):
+        index = self.tensor_step.get(id(parent))
+        if index is not None:
+            return (_STEP, index)
+        data = parent.data
+        name = self._slot_ids.get(id(data))
+        if name is not None:
+            return (_SLOT, name)
+        param = self._param_ids.get(id(data))
+        if param is not None:
+            if id(param) not in self._guard_ids:
+                self._guard_ids.add(id(param))
+                self.guards.append((param, data))
+            return (_CONST, data)
+        if data.size <= 1:
+            # Scalar leaves (coerced Python numbers) are immutable in
+            # practice; bake a private copy to be safe.
+            return (_CONST, data.copy())
+        raise TraceUnsupported(
+            f"leaf array of shape {data.shape} is neither a registered "
+            "input slot nor a parameter"
+        )
+
+    def _resolve_obj(self, obj):
+        if isinstance(obj, np.ndarray):
+            name = self._slot_ids.get(id(obj))
+            if name is not None:
+                return (_SLOT, name)
+            if obj.size <= 1:
+                return (_CONST, obj.copy())
+            raise TraceUnsupported(
+                f"meta array of shape {obj.shape} is not a registered input slot"
+            )
+        return (_CONST, obj)
+
+    def _resolve_index(self, index):
+        if isinstance(index, tuple):
+            return ("tuple", tuple(self._resolve_obj(e) for e in index))
+        return ("one", self._resolve_obj(index))
+
+    def _resolve_meta(self, op, meta):
+        if op in ("getitem", "scatter"):
+            meta = dict(meta)
+            meta["index"] = self._resolve_index(meta["index"])
+        elif op == "where":
+            meta = dict(meta)
+            meta["condition"] = self._resolve_obj(meta["condition"])
+        elif op in ("fused_dropout_residual", "fused_attention"):
+            if meta.get("mask") is not None:
+                raise TraceUnsupported(f"{op} with an active dropout mask")
+        return meta
+
+
+def trace(fn, slots: dict, params):
+    """Run ``fn()`` once under the tape builder.
+
+    Returns ``(out, tape)`` where ``out`` is the traced call's own
+    result tensor (always valid — use it for this call's answer) and
+    ``tape`` is a compiled :class:`Tape`, or ``None`` when the forward
+    hit a trace-unsupported op (negative-cache the key and stay on the
+    interpreted path).
+    """
+    builder = _TapeBuilder(slots, params)
+    with op_hook(builder):
+        out = fn()
+    if builder.failed is not None or id(out) not in builder.tensor_step:
+        return out, None
+    try:
+        tape = Tape(builder, id(out))
+    except TraceUnsupported:
+        return out, None
+    return out, tape
+
+
+# ----------------------------------------------------------------------
+# step classification and buffer planning
+# ----------------------------------------------------------------------
+def _classify(step: _Step) -> str:
+    """``view`` (recreate per call), ``alloc`` (fresh array per call),
+    or ``buffer`` (write into a planned, reusable frame buffer)."""
+    op = step.op
+    if op == "transpose":
+        return "view"
+    if op in ("reshape", "getitem"):
+        parent = step.parent_datas[0]
+        if step.out_data.size and np.shares_memory(step.out_data, parent):
+            return "view"
+        return "alloc"
+    if op in ("pow", "where"):
+        # pow rides ndarray.__pow__'s exponent fast paths; where has no
+        # out= form — both allocate fresh, exactly like the interpreter.
+        return "alloc"
+    if op == "matmul" and step.parent_datas[0].ndim == 1:
+        return "alloc"
+    return "buffer"
+
+
+def _reduced_shape(shape: tuple, axis: int) -> tuple:
+    """Shape of a ``keepdims=True`` reduction along ``axis``."""
+    reduced = list(shape)
+    reduced[axis] = 1
+    return tuple(reduced)
+
+
+def _scratch_specs(step: _Step):
+    """Extra temporaries a fused kernel needs beyond its out buffer.
+
+    Besides the full-size intermediates, each softmax-family kernel gets
+    one reduced-shape buffer so its ``keepdims`` reductions (max/sum/mu/
+    var) run with ``out=`` instead of allocating every replay.
+    """
+    op = step.op
+    dtype = step.out_data.dtype
+    if op == "fused_softmax":
+        return ((_reduced_shape(step.out_data.shape, step.meta["axis"]), dtype),)
+    if op == "fused_log_softmax":
+        return (
+            (step.out_data.shape, dtype),
+            (_reduced_shape(step.out_data.shape, step.meta["axis"]), dtype),
+        )
+    if op == "fused_gelu":
+        return ((step.out_data.shape, dtype),)
+    if op == "fused_layer_norm":
+        parent = step.parent_datas[0]
+        return (
+            (parent.shape, parent.dtype),
+            (parent.shape[:-1] + (1,), parent.dtype),
+        )
+    if op == "fused_attention":
+        q, k = step.parent_datas[0], step.parent_datas[1]
+        return (
+            (q.shape[:-1] + (k.shape[-2],), dtype),
+            (q.shape[:-1] + (1,), dtype),
+        )
+    return ()
+
+
+class _Codegen:
+    """Accumulates the generated replay source and its constant pool.
+
+    The whole tape compiles to **one** generated Python function: every
+    step's output is a local variable (``e<i>``), input slots and frame
+    buffers are hoisted to locals once per call, and baked constants
+    (parameter arrays, index tuples) live in the ``C`` pool captured in
+    the function's globals.  This removes all per-step dispatch — no
+    closure calls, no argument getters, no env list — leaving only the
+    raw numpy kernel sequence.
+    """
+
+    def __init__(self):
+        self.lines: list[str] = []
+        self.consts: list = []
+        self.slot_vars: dict[str, str] = {}
+        self.slot_lines: list[str] = []
+        self.used_buffers: set[int] = set()
+
+    def const(self, obj) -> str:
+        self.consts.append(obj)
+        return f"C[{len(self.consts) - 1}]"
+
+    def lit(self, obj) -> str:
+        """Exact source literal for simple metadata; else a pool constant.
+
+        ``repr`` of ``None``/``bool``/``int``/``float`` and int tuples
+        round-trips exactly (floats included, per the Python language
+        reference), so axes, shapes, eps and scale inline into the
+        generated source; anything richer rides the constant pool.
+        """
+        if obj is None or isinstance(obj, (bool, int, float)):
+            return repr(obj)
+        if isinstance(obj, tuple) and all(type(x) is int for x in obj):
+            return repr(obj)
+        return self.const(obj)
+
+    def slot(self, name: str) -> str:
+        var = self.slot_vars.get(name)
+        if var is None:
+            var = self.slot_vars[name] = f"s{len(self.slot_vars)}"
+            self.slot_lines.append(f"    {var} = slots[{name!r}]")
+        return var
+
+    def ref(self, ref) -> str:
+        kind, payload = ref
+        if kind == _STEP:
+            return f"e{payload}"
+        if kind == _SLOT:
+            return self.slot(payload)
+        return self.const(payload)
+
+    def obj(self, ref) -> str:
+        """Expression for a metadata object ref (slot or constant)."""
+        kind, payload = ref
+        if kind == _SLOT:
+            return self.slot(payload)
+        return self.const(payload)
+
+    def index(self, spec) -> str:
+        tag, payload = spec
+        if tag == "one":
+            return self.obj(payload)
+        if all(kind == _CONST for kind, _ in payload):
+            return self.const(tuple(obj for _, obj in payload))
+        parts = ", ".join(self.obj(element) for element in payload)
+        return f"({parts},)"
+
+    def buf(self, buf_id: int) -> str:
+        self.used_buffers.add(buf_id)
+        return f"f{buf_id}"
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " + line)
+
+
+class Tape:
+    """A compiled scoring tape: one generated function over planned buffers.
+
+    Buffers live in a **per-thread frame** (created lazily on first
+    replay on each thread), so concurrent serving workers replaying the
+    same tape never collide, while repeated calls on one thread reuse
+    the same memory with zero allocation for buffered steps.
+    """
+
+    def __init__(self, builder: _TapeBuilder, out_id: int):
+        steps = builder.steps
+        self._guards = tuple(builder.guards)
+        self._out_step = builder.tensor_step[out_id]
+        self._tls = threading.local()
+
+        n = len(steps)
+        kinds = [None] * n
+        roots: list[int | None] = [None] * n
+        for i, step in enumerate(steps):
+            kind = _classify(step)
+            kinds[i] = kind
+            if kind == "view":
+                ref_kind, payload = step.refs[0]
+                # A view of an input slot or constant owns no frame
+                # storage; a view of a step chains to that step's root.
+                roots[i] = roots[payload] if ref_kind == _STEP else None
+            else:
+                roots[i] = i
+
+        # Liveness per storage root: the last step reading it.  The
+        # final output's root is pinned past the end of the tape so its
+        # buffer is never handed out for reuse mid-replay.
+        last_use: dict[int, int] = {}
+        for i, step in enumerate(steps):
+            for ref_kind, payload in step.refs:
+                if ref_kind == _STEP:
+                    root = roots[payload]
+                    if root is not None:
+                        last_use[root] = i
+        out_root = roots[self._out_step]
+        if out_root is not None:
+            last_use[out_root] = n
+
+        deaths: dict[int, list[int]] = {}
+        for i in range(n):
+            if kinds[i] == "buffer":
+                deaths.setdefault(last_use.get(i, i), []).append(i)
+
+        specs: list[tuple[tuple[int, ...], np.dtype]] = []
+        free: dict[tuple, list[tuple[int, int]]] = {}
+        buffer_of: dict[int, int] = {}
+
+        def acquire(shape, dtype, at):
+            key = (shape, str(dtype))
+            pool = free.get(key)
+            if pool:
+                for slot, (buf_id, avail_from) in enumerate(pool):
+                    if avail_from <= at:
+                        pool.pop(slot)
+                        return buf_id
+            specs.append((shape, np.dtype(dtype)))
+            return len(specs) - 1
+
+        def release(buf_id, shape, dtype, avail_from):
+            free.setdefault((shape, str(dtype)), []).append((buf_id, avail_from))
+
+        codegen = _Codegen()
+        for i, step in enumerate(steps):
+            buf_id = None
+            scratch_ids = []
+            if kinds[i] == "buffer":
+                shape, dtype = step.out_data.shape, step.out_data.dtype
+                buf_id = acquire(shape, dtype, i)
+                buffer_of[i] = buf_id
+                scratch = _scratch_specs(step)
+                for s_shape, s_dtype in scratch:
+                    scratch_ids.append(acquire(s_shape, s_dtype, i))
+                for sid, (s_shape, s_dtype) in zip(scratch_ids, scratch):
+                    release(sid, s_shape, s_dtype, i + 1)
+            _COMPILERS[step.op](codegen, i, step, kinds[i], buf_id, scratch_ids)
+            # Buffers whose root dies here become reusable from i + 1 —
+            # never at i itself, so a kernel cannot alias its own inputs.
+            for root in deaths.get(i, ()):
+                owner = steps[root].out_data
+                release(buffer_of[root], owner.shape, owner.dtype, i + 1)
+
+        frame_lines = [
+            f"    f{buf_id} = frame[{buf_id}]"
+            for buf_id in sorted(codegen.used_buffers)
+        ]
+        body = (
+            codegen.slot_lines
+            + frame_lines
+            + codegen.lines
+            + [f"    return e{self._out_step}"]
+        )
+        # Hoist every ``np.<fn>`` the body references into a default
+        # argument, bound once at compile: each kernel line then reaches
+        # its function through one LOAD_FAST instead of a global plus
+        # attribute chain — measurable across ~hundreds of lines per
+        # replay.  Longest names first so ``np.add.at`` never gets
+        # half-rewritten by the ``np.add`` pass.
+        hoisted = sorted(
+            {match.group(1) for line in body for match in _NP_CALL.finditer(line)},
+            key=len,
+            reverse=True,
+        )
+        header_args = "slots, frame"
+        for name in hoisted:
+            local = "np_" + name.replace(".", "_")
+            body = [line.replace(f"np.{name}(", f"{local}(") for line in body]
+            header_args += f", {local}=np.{name}"
+        # The generated source is assembled exclusively from this
+        # module's own emitters over trace-time metadata; nothing
+        # user-controlled reaches it (constants ride the C pool).
+        self.source = "\n".join(
+            [f"def _replay({header_args}):"] + body + [""]
+        )
+        namespace = {"np": np, "C": tuple(codegen.consts)}
+        exec(compile(self.source, "<repro.nn.jit.Tape>", "exec"), namespace)
+        self._fn = namespace["_replay"]
+        self._frame_specs = tuple(specs)
+        #: step and planned-buffer counts, exposed for tests/diagnostics.
+        self.num_steps = n
+        self.num_buffers = len(specs)
+
+    def guards_ok(self) -> bool:
+        """True while every traced parameter still binds its traced array."""
+        for param, data in self._guards:
+            if param.data is not data:
+                return False
+        return True
+
+    def replay(self, slots: dict) -> np.ndarray:
+        """Execute the tape over fresh ``slots``; returns the output array.
+
+        The result may live in a reused frame buffer — callers that
+        retain it across calls must copy.
+        """
+        frame = getattr(self._tls, "frame", None)
+        if frame is None:
+            frame = self._tls.frame = [
+                np.empty(shape, dtype) for shape, dtype in self._frame_specs
+            ]
+        return self._fn(slots, frame)
+
+
+# ----------------------------------------------------------------------
+# kernel emitters — each writes the interpreted op's exact numpy call
+# sequence into the generated replay function, so replay is
+# bitwise-identical at every dtype
+# ----------------------------------------------------------------------
+def _binary_emitter(fn):
+    def emit(cg, i, step, kind, buf_id, scratch_ids):
+        a, b = cg.ref(step.refs[0]), cg.ref(step.refs[1])
+        cg.emit(f"e{i} = np.{fn}({a}, {b}, out={cg.buf(buf_id)})")
+
+    return emit
+
+
+def _unary_emitter(fn):
+    def emit(cg, i, step, kind, buf_id, scratch_ids):
+        cg.emit(f"e{i} = np.{fn}({cg.ref(step.refs[0])}, out={cg.buf(buf_id)})")
+
+    return emit
+
+
+def _emit_pow(cg, i, step, kind, buf_id, scratch_ids):
+    # ndarray.__pow__'s exponent fast paths allocate fresh, exactly like
+    # the interpreter.
+    cg.emit(f"e{i} = {cg.ref(step.refs[0])} ** {cg.lit(step.meta['exponent'])}")
+
+
+def _emit_sigmoid(cg, i, step, kind, buf_id, scratch_ids):
+    a, buf = cg.ref(step.refs[0]), cg.buf(buf_id)
+    cg.emit(f"np.negative({a}, out={buf})")
+    cg.emit(f"np.exp({buf}, out={buf})")
+    cg.emit(f"np.add({buf}, 1.0, out={buf})")
+    cg.emit(f"e{i} = np.divide(1.0, {buf}, out={buf})")
+
+
+def _emit_relu(cg, i, step, kind, buf_id, scratch_ids):
+    a = cg.ref(step.refs[0])
+    cg.emit(f"e{i} = np.multiply({a}, np.greater({a}, 0), out={cg.buf(buf_id)})")
+
+
+def _emit_clip(cg, i, step, kind, buf_id, scratch_ids):
+    a = cg.ref(step.refs[0])
+    low, high = cg.lit(step.meta["low"]), cg.lit(step.meta["high"])
+    cg.emit(f"e{i} = np.clip({a}, {low}, {high}, out={cg.buf(buf_id)})")
+
+
+def _reduction_emitter(ufunc):
+    # ``ndarray.sum``/``.max`` are exactly ``np.add.reduce``/
+    # ``np.maximum.reduce`` underneath (numpy's ``_methods`` module binds
+    # them directly), so the ufunc form is bitwise-identical while
+    # skipping the per-call Python wrapper.
+    def emit(cg, i, step, kind, buf_id, scratch_ids):
+        a = cg.ref(step.refs[0])
+        axis = cg.lit(step.meta["axis"])
+        keepdims = cg.lit(step.meta["keepdims"])
+        cg.emit(
+            f"e{i} = np.{ufunc}.reduce({a}, axis={axis}, "
+            f"out={cg.buf(buf_id)}, keepdims={keepdims})"
+        )
+
+    return emit
+
+
+def _emit_matmul(cg, i, step, kind, buf_id, scratch_ids):
+    a, b = cg.ref(step.refs[0]), cg.ref(step.refs[1])
+    if kind == "alloc":  # 1-D dot product: 0-d result, no out= form
+        cg.emit(f"e{i} = {a} @ {b}")
+    else:
+        cg.emit(f"e{i} = np.matmul({a}, {b}, out={cg.buf(buf_id)})")
+
+
+def _emit_transpose(cg, i, step, kind, buf_id, scratch_ids):
+    cg.emit(f"e{i} = {cg.ref(step.refs[0])}.transpose({cg.lit(step.meta['axes'])})")
+
+
+def _emit_reshape(cg, i, step, kind, buf_id, scratch_ids):
+    cg.emit(f"e{i} = {cg.ref(step.refs[0])}.reshape({cg.lit(step.meta['shape'])})")
+
+
+def _emit_getitem(cg, i, step, kind, buf_id, scratch_ids):
+    cg.emit(f"e{i} = {cg.ref(step.refs[0])}[{cg.index(step.meta['index'])}]")
+
+
+def _emit_concat(cg, i, step, kind, buf_id, scratch_ids):
+    parts = ", ".join(cg.ref(ref) for ref in step.refs)
+    axis = cg.lit(step.meta["axis"])
+    cg.emit(
+        f"e{i} = np.concatenate(({parts},), axis={axis}, out={cg.buf(buf_id)})"
+    )
+
+
+def _emit_stack(cg, i, step, kind, buf_id, scratch_ids):
+    parts = ", ".join(cg.ref(ref) for ref in step.refs)
+    axis = cg.lit(step.meta["axis"])
+    cg.emit(f"e{i} = np.stack(({parts},), axis={axis}, out={cg.buf(buf_id)})")
+
+
+def _emit_scatter(cg, i, step, kind, buf_id, scratch_ids):
+    buf = cg.buf(buf_id)
+    cg.emit(f"{buf}[...] = 0.0")
+    cg.emit(f"np.add.at({buf}, {cg.index(step.meta['index'])}, "
+            f"{cg.ref(step.refs[0])})")
+    cg.emit(f"e{i} = {buf}")
+
+
+def _emit_where(cg, i, step, kind, buf_id, scratch_ids):
+    # np.where has no out= form; allocates fresh, exactly like the
+    # interpreter.
+    cond = cg.obj(step.meta["condition"])
+    a, b = cg.ref(step.refs[0]), cg.ref(step.refs[1])
+    cg.emit(f"e{i} = np.where({cond}, {a}, {b})")
+
+
+def _emit_fused_softmax(cg, i, step, kind, buf_id, scratch_ids):
+    a, buf = cg.ref(step.refs[0]), cg.buf(buf_id)
+    red = cg.buf(scratch_ids[0])
+    axis = cg.lit(step.meta["axis"])
+    cg.emit(f"np.maximum.reduce({a}, axis={axis}, out={red}, keepdims=True)")
+    cg.emit(f"np.subtract({a}, {red}, out={buf})")
+    cg.emit(f"np.exp({buf}, out={buf})")
+    cg.emit(f"np.add.reduce({buf}, axis={axis}, out={red}, keepdims=True)")
+    cg.emit(f"{buf} /= {red}")
+    cg.emit(f"e{i} = {buf}")
+
+
+def _emit_fused_log_softmax(cg, i, step, kind, buf_id, scratch_ids):
+    a, buf = cg.ref(step.refs[0]), cg.buf(buf_id)
+    scratch, red = cg.buf(scratch_ids[0]), cg.buf(scratch_ids[1])
+    axis = cg.lit(step.meta["axis"])
+    cg.emit(f"np.maximum.reduce({a}, axis={axis}, out={red}, keepdims=True)")
+    cg.emit(f"np.subtract({a}, {red}, out={buf})")
+    cg.emit(f"np.exp({buf}, out={scratch})")
+    cg.emit(f"np.add.reduce({scratch}, axis={axis}, out={red}, keepdims=True)")
+    cg.emit(f"np.log({red}, out={red})")
+    cg.emit(f"e{i} = np.subtract({buf}, {red}, out={buf})")
+
+
+def _emit_fused_layer_norm(cg, i, step, kind, buf_id, scratch_ids):
+    a = cg.ref(step.refs[0])
+    weight, bias = cg.ref(step.refs[1]), cg.ref(step.refs[2])
+    buf = cg.buf(buf_id)
+    scratch, red = cg.buf(scratch_ids[0]), cg.buf(scratch_ids[1])
+    eps = cg.lit(step.meta["eps"])
+    inv_count = cg.lit(1.0 / step.parent_datas[0].shape[-1])
+    cg.emit(f"np.add.reduce({a}, axis=-1, out={red}, keepdims=True)")  # mu
+    cg.emit(f"{red} *= {inv_count}")
+    cg.emit(f"np.subtract({a}, {red}, out={scratch})")  # centred
+    cg.emit(f"np.multiply({scratch}, {scratch}, out={buf})")
+    cg.emit(f"np.add.reduce({buf}, axis=-1, out={red}, keepdims=True)")  # var (mu dead)
+    cg.emit(f"{red} *= {inv_count}")
+    cg.emit(f"np.add({red}, {eps}, out={red})")
+    cg.emit(f"np.sqrt({red}, out={red})")  # std
+    cg.emit(f"np.divide({scratch}, {red}, out={scratch})")  # x-hat
+    cg.emit(f"np.multiply({scratch}, {weight}, out={buf})")
+    cg.emit(f"e{i} = np.add({buf}, {bias}, out={buf})")
+
+
+def _emit_fused_gelu(cg, i, step, kind, buf_id, scratch_ids):
+    a, buf = cg.ref(step.refs[0]), cg.buf(buf_id)
+    scratch = cg.buf(scratch_ids[0])
+    cg.emit(f"np.multiply({a}, {a}, out={scratch})")
+    cg.emit(f"np.multiply({scratch}, {a}, out={scratch})")
+    cg.emit(f"np.multiply({scratch}, {cg.lit(_GELU_COEFF)}, out={scratch})")
+    cg.emit(f"np.add({a}, {scratch}, out={scratch})")
+    cg.emit(f"np.multiply({scratch}, {cg.lit(_SQRT_2_OVER_PI)}, out={scratch})")
+    cg.emit(f"np.tanh({scratch}, out={scratch})")
+    cg.emit(f"np.multiply({a}, 0.5, out={buf})")
+    cg.emit(f"np.add({scratch}, 1.0, out={scratch})")
+    cg.emit(f"e{i} = np.multiply({buf}, {scratch}, out={buf})")
+
+
+def _emit_fused_dropout_residual(cg, i, step, kind, buf_id, scratch_ids):
+    x, residual = cg.ref(step.refs[0]), cg.ref(step.refs[1])
+    cg.emit(f"e{i} = np.add({residual}, {x}, out={cg.buf(buf_id)})")
+
+
+def _emit_fused_attention(cg, i, step, kind, buf_id, scratch_ids):
+    q, k, v = (cg.ref(ref) for ref in step.refs)
+    buf = cg.buf(buf_id)
+    scores, red = cg.buf(scratch_ids[0]), cg.buf(scratch_ids[1])
+    cg.emit(f"np.matmul({q}, np.swapaxes({k}, -1, -2), out={scores})")
+    cg.emit(f"{scores} *= {cg.lit(step.meta['scale'])}")
+    cg.emit(f"np.maximum.reduce({scores}, axis=-1, out={red}, keepdims=True)")
+    cg.emit(f"np.subtract({scores}, {red}, out={scores})")
+    cg.emit(f"np.exp({scores}, out={scores})")
+    cg.emit(f"np.add.reduce({scores}, axis=-1, out={red}, keepdims=True)")
+    cg.emit(f"{scores} /= {red}")
+    cg.emit(f"e{i} = np.matmul({scores}, {v}, out={buf})")
+
+
+_COMPILERS = {
+    "add": _binary_emitter("add"),
+    "mul": _binary_emitter("multiply"),
+    "div": _binary_emitter("divide"),
+    "neg": _unary_emitter("negative"),
+    "exp": _unary_emitter("exp"),
+    "log": _unary_emitter("log"),
+    "sqrt": _unary_emitter("sqrt"),
+    "tanh": _unary_emitter("tanh"),
+    "abs": _unary_emitter("absolute"),
+    "pow": _emit_pow,
+    "sigmoid": _emit_sigmoid,
+    "relu": _emit_relu,
+    "clip": _emit_clip,
+    "sum": _reduction_emitter("add"),
+    "max": _reduction_emitter("maximum"),
+    "max_stat": _reduction_emitter("maximum"),
+    "matmul": _emit_matmul,
+    "transpose": _emit_transpose,
+    "reshape": _emit_reshape,
+    "getitem": _emit_getitem,
+    "concat": _emit_concat,
+    "stack": _emit_stack,
+    "scatter": _emit_scatter,
+    "where": _emit_where,
+    "fused_softmax": _emit_fused_softmax,
+    "fused_log_softmax": _emit_fused_log_softmax,
+    "fused_layer_norm": _emit_fused_layer_norm,
+    "fused_gelu": _emit_fused_gelu,
+    "fused_dropout_residual": _emit_fused_dropout_residual,
+    "fused_attention": _emit_fused_attention,
+}

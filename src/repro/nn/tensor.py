@@ -43,11 +43,18 @@ _GRAD_STATE = threading.local()
 # closure ran during ``Tensor.backward``.  Thread-local so a tracer or
 # sanitizer on one thread never observes ops from concurrent serving or
 # training threads.
-_HOOK_STATE = threading.local()
+#
+# The class-level ``hooks = None`` default makes the no-hook hot path a
+# single attribute load (``_HOOK_STATE.hooks``): threads that never
+# install a hook fall through to the class attribute instead of paying a
+# ``getattr(..., default)`` call per dispatched op.
 
 
-def _active_hooks() -> list | None:
-    return getattr(_HOOK_STATE, "hooks", None)
+class _HookState(threading.local):
+    hooks: list | None = None
+
+
+_HOOK_STATE = _HookState()
 
 
 class op_hook:
@@ -64,7 +71,7 @@ class op_hook:
         self.hook = hook
 
     def __enter__(self):
-        hooks = getattr(_HOOK_STATE, "hooks", None)
+        hooks = _HOOK_STATE.hooks
         if hooks is None:
             hooks = _HOOK_STATE.hooks = []
         hooks.append(self.hook)
@@ -145,7 +152,7 @@ class Tensor:
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name",
-                 "_topo", "op", "_site")
+                 "_topo", "op", "_site", "_meta")
 
     def __init__(self, data, requires_grad: bool = False, name: str | None = None,
                  dtype=None):
@@ -204,8 +211,9 @@ class Tensor:
     def _make(
         data: np.ndarray,
         parents: Sequence["Tensor"],
-        backward: Callable[[np.ndarray], None],
+        backward: Callable[[np.ndarray], None] | None,
         op: str = "op",
+        meta: dict | None = None,
     ) -> "Tensor":
         """Create a result tensor, attaching graph edges when enabled.
 
@@ -216,8 +224,21 @@ class Tensor:
         vice versa.  The wrapper temporarily restores the record-time
         flags around the op's backward closure, whose accumulations check
         ``requires_grad``.
+
+        ``backward=None`` marks a deliberately non-differentiable op (the
+        stable-softmax shift): the result never requires grad, but hooks
+        still observe it with its parents, so tracers see the data flow.
+
+        ``meta`` carries the op's non-tensor attributes (axis, index
+        arrays, shapes, …) for op hooks; it is attached to the result
+        only while a hook is installed, so the no-hook path pays nothing
+        beyond building the (small) literal at the call site.
         """
-        requires = is_grad_enabled() and any(p.requires_grad for p in parents)
+        requires = (
+            backward is not None
+            and is_grad_enabled()
+            and any(p.requires_grad for p in parents)
+        )
         out = Tensor(data, requires_grad=requires)
         out.op = op
         if requires:
@@ -236,11 +257,12 @@ class Tensor:
 
             out._parents = parents
             out._backward = gated_backward
-        hooks = _active_hooks()
+        hooks = _HOOK_STATE.hooks
         if hooks:
             # Hooks observe every dispatched op, including ones that do
             # not record gradients (no_grad scoring, constant subgraphs):
             # the dtype tracer must see the full forward.
+            out._meta = meta
             for hook in hooks:
                 after_forward = getattr(hook, "after_forward", None)
                 if after_forward is not None:
@@ -312,7 +334,7 @@ class Tensor:
             self._topo = topo
 
         self._accumulate(grad)
-        hooks = _active_hooks()
+        hooks = _HOOK_STATE.hooks
         for node in reversed(topo):
             if node._backward is not None and node.grad is not None:
                 node._backward(node.grad)
@@ -387,7 +409,8 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * exponent * self.data ** (exponent - 1))
 
-        return Tensor._make(out_data, (self,), backward, op="pow")
+        return Tensor._make(out_data, (self,), backward, op="pow",
+                            meta={"exponent": exponent})
 
     # ------------------------------------------------------------------
     # elementwise transcendental functions
@@ -457,7 +480,8 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * mask)
 
-        return Tensor._make(out_data, (self,), backward, op="clip")
+        return Tensor._make(out_data, (self,), backward, op="clip",
+                            meta={"low": low, "high": high})
 
     # ------------------------------------------------------------------
     # reductions
@@ -471,7 +495,8 @@ class Tensor:
                 g = np.expand_dims(g, axis=axis)
             self._accumulate(np.broadcast_to(g, self.shape).copy())
 
-        return Tensor._make(out_data, (self,), backward, op="sum")
+        return Tensor._make(out_data, (self,), backward, op="sum",
+                            meta={"axis": axis, "keepdims": keepdims})
 
     def mean(self, axis: int | tuple[int, ...] | None = None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -503,7 +528,8 @@ class Tensor:
             count = mask.sum(axis=axis if axis is not None else None, keepdims=True)
             self._accumulate(np.where(mask, g / count, 0.0))
 
-        return Tensor._make(out_data, (self,), backward, op="max")
+        return Tensor._make(out_data, (self,), backward, op="max",
+                            meta={"axis": axis, "keepdims": keepdims})
 
     # ------------------------------------------------------------------
     # linear algebra and shape manipulation
@@ -544,7 +570,8 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad.transpose(inverse))
 
-        return Tensor._make(out_data, (self,), backward, op="transpose")
+        return Tensor._make(out_data, (self,), backward, op="transpose",
+                            meta={"axes": axes})
 
     def swapaxes(self, a: int, b: int) -> "Tensor":
         axes = list(range(self.ndim))
@@ -564,7 +591,8 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad.reshape(original))
 
-        return Tensor._make(out_data, (self,), backward, op="reshape")
+        return Tensor._make(out_data, (self,), backward, op="reshape",
+                            meta={"shape": shape})
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
@@ -574,7 +602,8 @@ class Tensor:
             np.add.at(full, index, grad)
             self._accumulate(full)
 
-        return Tensor._make(out_data, (self,), backward, op="getitem")
+        return Tensor._make(out_data, (self,), backward, op="getitem",
+                            meta={"index": index})
 
     @staticmethod
     def concat(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
@@ -589,7 +618,8 @@ class Tensor:
                 slicer[axis] = slice(start, stop)
                 tensor._accumulate(grad[tuple(slicer)])
 
-        return Tensor._make(out_data, tuple(tensors), backward, op="concat")
+        return Tensor._make(out_data, tuple(tensors), backward, op="concat",
+                            meta={"axis": axis})
 
     @staticmethod
     def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
@@ -601,7 +631,8 @@ class Tensor:
             for tensor, part in zip(tensors, parts):
                 tensor._accumulate(np.squeeze(part, axis=axis))
 
-        return Tensor._make(out_data, tuple(tensors), backward, op="stack")
+        return Tensor._make(out_data, tuple(tensors), backward, op="stack",
+                            meta={"axis": axis})
 
     @staticmethod
     def scatter(src: "Tensor", index, shape: tuple[int, ...]) -> "Tensor":
@@ -619,7 +650,8 @@ class Tensor:
         def backward(grad: np.ndarray) -> None:
             src._accumulate(grad[index])
 
-        return Tensor._make(out_data, (src,), backward, op="scatter")
+        return Tensor._make(out_data, (src,), backward, op="scatter",
+                            meta={"index": index, "shape": shape})
 
     @staticmethod
     def where(condition: np.ndarray, a: "Tensor", b: "Tensor") -> "Tensor":
@@ -632,22 +664,34 @@ class Tensor:
             a._accumulate(_unbroadcast(np.where(cond, grad, 0.0), a.shape))
             b._accumulate(_unbroadcast(np.where(cond, 0.0, grad), b.shape))
 
-        return Tensor._make(out_data, (a, b), backward, op="where")
+        return Tensor._make(out_data, (a, b), backward, op="where",
+                            meta={"condition": cond})
 
     # ------------------------------------------------------------------
     # composite helpers frequently used by the models
     # ------------------------------------------------------------------
+    def _max_stat(self, axis: int) -> "Tensor":
+        """Stable-softmax shift: the max as a *non-differentiable* op.
+
+        ``softmax(x - c) == softmax(x)`` for any constant ``c``, so the
+        shift is deliberately constant w.r.t. differentiation — the
+        composite's gradient is exact without flowing through the max.
+        Routed through :meth:`_make` with ``backward=None`` (instead of
+        wrapping ``self.data`` in a fresh leaf) so op hooks — the jit
+        tape builder in particular — see where the value comes from.
+        """
+        return Tensor._make(
+            self.data.max(axis=axis, keepdims=True), (self,), None,
+            op="max_stat", meta={"axis": axis, "keepdims": True},
+        )
+
     def softmax(self, axis: int = -1) -> "Tensor":
-        # Stable-softmax shift: softmax(x - c) == softmax(x) for any constant
-        # c, so the max is deliberately constant w.r.t. differentiation — the
-        # composite's gradient is exact without flowing through the max.
-        shifted = self - Tensor(self.data.max(axis=axis, keepdims=True))  # repro: noqa[DET001]
+        shifted = self - self._max_stat(axis)
         exp = shifted.exp()
         return exp / exp.sum(axis=axis, keepdims=True)
 
     def log_softmax(self, axis: int = -1) -> "Tensor":
-        # Same intentional constant shift as softmax above.
-        shifted = self - Tensor(self.data.max(axis=axis, keepdims=True))  # repro: noqa[DET001]
+        shifted = self - self._max_stat(axis)
         return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
 
 

@@ -45,6 +45,7 @@ from typing import Callable
 import numpy as np
 
 from ..detector import BaseDetector
+from ..nn import jit as nn_jit
 from .errors import Overloaded, ServeError
 from .metrics import MetricsRegistry
 
@@ -89,6 +90,12 @@ class MicroBatcher:
     metrics:
         Optional :class:`MetricsRegistry`; the batcher records queue
         depth, batch sizes, shed counts, and per-model scored counts.
+    jit:
+        Tape-replay scoring policy for the worker threads: ``True`` /
+        ``False`` pin it on or off per batch via a thread-local
+        :class:`repro.nn.jit.use_jit` override; ``None`` (default)
+        inherits the ambient :func:`repro.nn.jit.set_jit` process
+        default (on).
     """
 
     def __init__(
@@ -99,6 +106,7 @@ class MicroBatcher:
         max_queue: int = 256,
         workers: int = 1,
         metrics: MetricsRegistry | None = None,
+        jit: bool | None = None,
     ):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
@@ -109,6 +117,7 @@ class MicroBatcher:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.detector_for = detector_for
+        self.jit = None if jit is None else bool(jit)
         self.max_batch_size = max_batch_size
         self.max_delay = max_delay
         self.max_queue = max_queue
@@ -254,7 +263,11 @@ class MicroBatcher:
                     windows = requests[0].window[None]
                 else:
                     windows = np.stack([r.window for r in requests])
-                scores = detector.score_last(windows)
+                if self.jit is None:
+                    scores = detector.score_last(windows)
+                else:
+                    with nn_jit.use_jit(self.jit):
+                        scores = detector.score_last(windows)
             except BaseException as error:  # noqa: BLE001 — forwarded to clients
                 for request in requests:
                     if not request.future.set_running_or_notify_cancel():

@@ -213,6 +213,39 @@ class TestF64001:
         """, path="src/repro/nn/functional.py") == []
 
 
+class TestJIT001:
+    def test_tensor_in_jit_module_flagged(self):
+        assert _codes(_lint("""
+            def replay(slots):
+                return Tensor(slots["x"])
+        """, path="src/repro/nn/jit.py")) == ["JIT001"]
+
+    def test_as_tensor_in_jit_module_flagged(self):
+        assert _codes(_lint("""
+            def trace(fn, x):
+                return as_tensor(x)
+        """, path="src/repro/nn/jit.py")) == ["JIT001"]
+
+    def test_other_modules_out_of_scope(self):
+        assert _lint("""
+            def f(x):
+                return Tensor(x)
+        """, path="src/repro/nn/functional.py") == []
+
+    def test_raw_numpy_clean(self):
+        assert _lint("""
+            import numpy as np
+            def replay(slots):
+                return np.add(slots["a"], slots["b"])
+        """, path="src/repro/nn/jit.py") == []
+
+    def test_noqa_suppresses(self):
+        assert _lint("""
+            def replay(slots):
+                return Tensor(slots["x"])  # repro: noqa[JIT001]
+        """, path="src/repro/nn/jit.py") == []
+
+
 class TestReporters:
     def test_text_report_lists_locations(self):
         violations = _lint("""

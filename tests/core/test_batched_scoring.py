@@ -98,6 +98,65 @@ class TestBatchedEqualsLoop:
         assert np.array_equal(batched, sequential)
 
 
+class TestChunkBufferReuse:
+    """Regression tests for the preallocated-output chunking scheme."""
+
+    def test_multi_chunk_writes_one_preallocated_output(self):
+        from repro.datasets.windows import batched_window_scores
+
+        windows = np.arange(10.0)[:, None, None] + np.zeros((10, 4, 1))
+        calls = []
+
+        def score_fn(chunk):
+            calls.append(len(chunk))
+            return chunk[:, :, 0] * 2.0
+
+        out = batched_window_scores(windows, score_fn, batch_size=3)
+        assert calls == [3, 3, 3, 1]
+        assert out.shape == (10, 4)
+        assert np.array_equal(out, windows[:, :, 0] * 2.0)
+        # One output array regardless of chunk count: rows from different
+        # chunks share the same base allocation.
+        assert out.flags.owndata
+
+    def test_batch_of_one_returns_score_fn_result_unchanged(self):
+        """The serving hot path (single window, single chunk) must hand
+        back ``score_fn``'s own array — zero copies on top of the model."""
+        from repro.datasets.windows import batched_window_scores
+
+        produced = {}
+
+        def score_fn(chunk):
+            produced["scores"] = np.asarray(chunk[:, :, 0] * 3.0)
+            return produced["scores"]
+
+        windows = np.ones((1, 5, 1))
+        out = batched_window_scores(windows, score_fn, batch_size=64)
+        assert out is produced["scores"]
+
+    def test_single_full_chunk_is_zero_copy_too(self):
+        from repro.datasets.windows import batched_window_scores
+
+        produced = {}
+
+        def score_fn(chunk):
+            produced["scores"] = np.asarray(chunk[:, :, 0])
+            return produced["scores"]
+
+        windows = np.ones((8, 5, 1))
+        assert batched_window_scores(windows, score_fn, batch_size=8) is (
+            produced["scores"]
+        )
+
+    def test_empty_input(self):
+        from repro.datasets.windows import batched_window_scores
+
+        out = batched_window_scores(
+            np.empty((0, 5, 1)), lambda chunk: chunk[:, :, 0], batch_size=4
+        )
+        assert out.shape == (0,)
+
+
 class TestComputeDtypePolicy:
     def test_float32_fit_and_score(self, fast_config):
         """End-to-end smoke at reduced precision (the production path)."""

@@ -1,0 +1,315 @@
+"""Tape-replay JIT: bitwise equivalence, guards, cache keys, fallback.
+
+The contract of :mod:`repro.nn.jit` is strict: replay output must be
+*bitwise* identical to the interpreted graph — every kernel emitter
+mirrors the exact numpy call sequence of its op, so these tests use
+``np.array_equal``, never ``allclose``.  Coverage spans the same five
+model variants ``repro analyze --all`` checks (default, float32,
+temporal-only, frequency-only, non-adversarial) at both compute dtypes
+and both fused-policy states.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import TFMAE, TFMAEConfig
+from repro.core.model import _UNSUPPORTED
+from repro.nn import fused, jit
+
+
+def _sine_series(rng, length, features=1):
+    t = np.arange(length, dtype=np.float64)
+    base = np.sin(2 * np.pi * t / 23.0)[:, None]
+    return np.repeat(base, features, axis=1) + 0.05 * rng.normal(
+        size=(length, features)
+    )
+
+
+#: Structural variants of the scoring graph; together with the dtype
+#: axis these cover all five `analyze --all` model variants (the cli's
+#: "float32" variant is the default structure at compute_dtype=float32).
+VARIANTS = {
+    "default": {},
+    "temporal-only": {"use_frequency_branch": False},
+    "frequency-only": {"use_temporal_branch": False},
+    "non-adversarial": {"adversarial": False},
+}
+DTYPES = ("float64", "float32")
+
+_FITTED: dict = {}
+
+
+def _fitted(variant: str, dtype: str) -> TFMAE:
+    """Fit-once cache across the module (8 tiny models total)."""
+    key = (variant, dtype)
+    detector = _FITTED.get(key)
+    if detector is None:
+        config = TFMAEConfig(
+            window_size=30,
+            d_model=8,
+            num_layers=1,
+            num_heads=2,
+            temporal_mask_ratio=30.0,
+            frequency_mask_ratio=30.0,
+            anomaly_ratio=5.0,
+            batch_size=8,
+            epochs=1,
+            learning_rate=1e-3,
+            seed=0,
+            compute_dtype=dtype,
+            **VARIANTS[variant],
+        )
+        detector = TFMAE(config)
+        detector.fit(_sine_series(np.random.default_rng(0), 150))
+        _FITTED[key] = detector
+    return detector
+
+
+def _windows(detector: TFMAE, batch: int = 3) -> np.ndarray:
+    rng = np.random.default_rng(7)
+    size = detector.config.window_size
+    return np.stack([_sine_series(rng, size) for _ in range(batch)])
+
+
+class TestBitwiseEquivalence:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("variant", sorted(VARIANTS))
+    @pytest.mark.parametrize("use_fused", [True, False])
+    def test_replay_matches_interpreted(self, variant, dtype, use_fused):
+        detector = _fitted(variant, dtype)
+        windows = _windows(detector)
+        with fused.use_fused(use_fused):
+            with jit.use_jit(False):
+                interpreted = detector.model.score_windows(windows)
+            with jit.use_jit(True):
+                traced = detector.model.score_windows(windows)  # trace call
+                replay_1 = detector.model.score_windows(windows)
+                replay_2 = detector.model.score_windows(windows)
+        assert np.array_equal(interpreted, traced)
+        assert np.array_equal(interpreted, replay_1)
+        assert np.array_equal(interpreted, replay_2)
+        assert interpreted.dtype == np.float64  # score contract
+
+    def test_score_and_score_last_ride_the_tape(self):
+        detector = _fitted("default", "float64")
+        rng = np.random.default_rng(11)
+        series = _sine_series(rng, 90)
+        windows = _windows(detector, batch=2)
+        with jit.use_jit(False):
+            series_interp = detector.score(series)
+            last_interp = detector.score_last(windows)
+        with jit.use_jit(True):
+            assert np.array_equal(series_interp, detector.score(series))
+            assert np.array_equal(last_interp, detector.score_last(windows))
+
+    def test_replay_output_is_owned(self):
+        """Scores must not alias the tape's reusable frame buffers."""
+        detector = _fitted("default", "float64")
+        windows = _windows(detector)
+        with jit.use_jit(True):
+            detector.model.score_windows(windows)
+            first = detector.model.score_windows(windows)
+            snapshot = first.copy()
+            detector.model.score_windows(windows * 2.0)
+        assert np.array_equal(first, snapshot)
+
+
+class TestGuards:
+    def test_load_state_dict_invalidates_tapes(self):
+        detector = _fitted("default", "float64")
+        model = detector.model
+        windows = _windows(detector)
+        with jit.use_jit(True):
+            model.score_windows(windows)
+            assert model._tapes  # tape cached
+            tape = next(iter(model._tapes.values()))
+            assert tape.guards_ok()
+
+            # Rebind every parameter array (what load_model / publish do).
+            state = model.state_dict()
+            for name in state:
+                state[name] = state[name] * 1.5
+            model.load_state_dict(state)
+            assert not tape.guards_ok()
+
+            with jit.use_jit(False):
+                interpreted = model.score_windows(windows)
+            replayed = model.score_windows(windows)  # retraces, not stale
+        assert np.array_equal(interpreted, replayed)
+
+    def test_checkpoint_roundtrip_stays_bitwise(self, tmp_path):
+        from repro.nn.serialization import load_model, save_model
+
+        detector = _fitted("default", "float64")
+        model = detector.model
+        windows = _windows(detector)
+        with jit.use_jit(True):
+            before = model.score_windows(windows)
+            save_model(model, tmp_path / "ckpt.npz")
+            load_model(model, tmp_path / "ckpt.npz")
+            after = model.score_windows(windows)  # guards tripped, retraced
+        assert np.array_equal(before, after)
+
+    def test_inplace_update_keeps_tape_valid(self):
+        """Optimizer-style in-place writes keep array identity: no retrace,
+        and replay reads the new values."""
+        detector = _fitted("default", "float64")
+        model = detector.model
+        windows = _windows(detector)
+        with jit.use_jit(True):
+            model.score_windows(windows)
+            tape = next(iter(model._tapes.values()))
+            param = next(iter(model.parameters()))
+            param.data *= 1.01  # repro: noqa[MUT001] - optimizer-style step
+            assert tape.guards_ok()
+            with jit.use_jit(False):
+                interpreted = model.score_windows(windows)
+            assert np.array_equal(interpreted, model.score_windows(windows))
+
+
+class TestTapeCache:
+    def test_keys_specialize_shape_dtype_fused(self):
+        detector = _fitted("default", "float64")
+        model = detector.model
+        model._tapes.clear()
+        with jit.use_jit(True):
+            model.score_windows(_windows(detector, batch=2))
+            assert len(model._tapes) == 1
+            model.score_windows(_windows(detector, batch=2))
+            assert len(model._tapes) == 1  # same key, cache hit
+            model.score_windows(_windows(detector, batch=5))
+            assert len(model._tapes) == 2  # new batch shape
+            with fused.use_fused(False):
+                model.score_windows(_windows(detector, batch=2))
+            assert len(model._tapes) == 3  # fused policy in the key
+        keys = set(model._tapes)
+        assert {key[0][0] for key in keys} == {2, 5}
+        assert {key[2] for key in keys} == {True, False}
+
+
+class TestFallback:
+    def test_unsupported_op_falls_back_and_negative_caches(self, monkeypatch):
+        detector = _fitted("default", "float64")
+        model = detector.model
+        model._tapes.clear()
+        windows = _windows(detector)
+        with jit.use_jit(False):
+            interpreted = model.score_windows(windows)
+
+        monkeypatch.delitem(jit._COMPILERS, "matmul")
+        with jit.use_jit(True):
+            first = model.score_windows(windows)
+            assert list(model._tapes.values()) == [_UNSUPPORTED]
+            second = model.score_windows(windows)  # negative-cache path
+        assert np.array_equal(interpreted, first)
+        assert np.array_equal(interpreted, second)
+
+        monkeypatch.undo()
+        model._tapes.clear()
+        with jit.use_jit(True):
+            third = model.score_windows(windows)
+            assert all(t is not _UNSUPPORTED for t in model._tapes.values())
+        assert np.array_equal(interpreted, third)
+
+
+class TestJitThreadLocal:
+    """Mirror of tests/nn/test_policy_threading.py for the jit switch."""
+
+    def _run_both(self, worker_a, worker_b):
+        errors = []
+
+        def wrap(fn):
+            def run():
+                try:
+                    fn()
+                except BaseException as error:  # pragma: no cover
+                    errors.append(error)
+            return run
+
+        threads = [threading.Thread(target=wrap(worker_a)),
+                   threading.Thread(target=wrap(worker_b))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+
+    def test_concurrent_flips_do_not_leak(self):
+        barrier = threading.Barrier(2)
+        iterations = 200
+
+        def flip_off():
+            barrier.wait()
+            for _ in range(iterations):
+                with jit.use_jit(False):
+                    assert jit.jit_enabled() is False
+
+        def flip_on():
+            barrier.wait()
+            for _ in range(iterations):
+                with jit.use_jit(True):
+                    assert jit.jit_enabled() is True
+
+        self._run_both(flip_off, flip_on)
+        assert jit.jit_enabled() is True  # process default untouched
+
+    def test_override_invisible_to_other_thread(self):
+        entered = threading.Event()
+        release = threading.Event()
+        seen = {}
+
+        def overrider():
+            with jit.use_jit(False):
+                entered.set()
+                release.wait(timeout=5)
+
+        def observer():
+            entered.wait(timeout=5)
+            seen["enabled"] = jit.jit_enabled()
+            release.set()
+
+        self._run_both(overrider, observer)
+        assert seen["enabled"] is True
+
+    def test_set_jit_is_the_shared_default(self):
+        seen = {}
+        try:
+            jit.set_jit(False)
+            thread = threading.Thread(
+                target=lambda: seen.update(enabled=jit.jit_enabled())
+            )
+            thread.start()
+            thread.join()
+        finally:
+            jit.set_jit(True)
+        assert seen["enabled"] is False
+
+    def test_nested_overrides_restore(self):
+        with jit.use_jit(False):
+            with jit.use_jit(True):
+                assert jit.jit_enabled() is True
+            assert jit.jit_enabled() is False
+        assert jit.jit_enabled() is True
+
+    def test_concurrent_replay_same_tape(self):
+        """Two threads replaying one tape share code but not frames."""
+        detector = _fitted("default", "float64")
+        model = detector.model
+        windows = _windows(detector)
+        with jit.use_jit(True):
+            expected = model.score_windows(windows)
+        results = {}
+
+        def worker(name):
+            with jit.use_jit(True):
+                for _ in range(20):
+                    results[name] = model.score_windows(windows)
+
+        self._run_both(lambda: worker("a"), lambda: worker("b"))
+        assert np.array_equal(results["a"], expected)
+        assert np.array_equal(results["b"], expected)
