@@ -1,6 +1,6 @@
 # Convenience targets for the TFMAE reproduction.
 
-.PHONY: install test lint check bench bench-tables bench-figures perf jit-bench robustness serve serve-bench examples clean
+.PHONY: install test lint check bench bench-tables bench-figures perf jit-bench robustness chaos serve serve-bench examples clean
 
 install:
 	python setup.py develop
@@ -49,6 +49,12 @@ robustness:
 	       tests/test_robustness_stream.py tests/test_property_nonfinite.py -q
 	PYTHONPATH=src REPRO_BENCH_STREAM=300 REPRO_BENCH_EPOCHS=4 \
 	       pytest benchmarks/bench_robustness_faults.py --benchmark-only -s
+
+# Fault-injection suite + lifecycle recovery bench (detection-to-rollback
+# latency and per-fault availability; see docs/serving.md fault matrix).
+chaos:
+	PYTHONPATH=src pytest -m chaos tests/ -q
+	PYTHONPATH=src python benchmarks/bench_lifecycle_recovery.py
 
 serve:
 	PYTHONPATH=src python -m repro serve --demo

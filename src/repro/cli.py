@@ -92,6 +92,17 @@ def build_parser() -> argparse.ArgumentParser:
                             "shed with HTTP 429")
     serve.add_argument("--workers", type=int, default=2,
                        help="scoring worker threads")
+    serve.add_argument("--load-retries", type=int, default=2,
+                       help="transient artifact-load failures retried per "
+                            "request (capped exponential backoff)")
+    serve.add_argument("--retry-backoff", type=float, default=0.05,
+                       help="base backoff delay in seconds between load retries")
+    serve.add_argument("--breaker-threshold", type=int, default=3,
+                       help="consecutive load failures before a model's "
+                            "circuit breaker opens")
+    serve.add_argument("--breaker-reset", type=float, default=30.0,
+                       help="seconds an open circuit breaker waits before "
+                            "admitting a half-open probe load")
     serve.add_argument("--demo", action="store_true",
                        help="fit a small TFMAE on synthetic data, publish it "
                             "as 'demo', then serve (no registry required)")
@@ -138,7 +149,13 @@ def _build_server(args: argparse.Namespace):
     """Construct (but do not start) the inference server for ``serve``."""
     from .serve import InferenceServer, ModelRegistry
 
-    registry = ModelRegistry(args.registry)
+    registry = ModelRegistry(
+        args.registry,
+        load_retries=args.load_retries,
+        retry_backoff=args.retry_backoff,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset=args.breaker_reset,
+    )
     if args.demo:
         print("fitting demo TFMAE on a small NIPS-TS-Global realisation...")
         dataset = get_dataset("NIPS-TS-Global", seed=0, scale=0.02).normalised()

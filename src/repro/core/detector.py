@@ -56,6 +56,49 @@ class TFMAE(BaseDetector):
             train, validation=getattr(self, "_validation_for_selection", None)
         )
 
+    def refit(
+        self,
+        recent: np.ndarray,
+        validation: np.ndarray | None = None,
+        epochs: int | None = None,
+        learning_rate: float | None = None,
+    ) -> "TFMAE":
+        """Incrementally refit the existing model on recent telemetry.
+
+        Continues training from the **current** weights (fresh Adam
+        state, same schedule) instead of reinitialising — the serving
+        lifecycle's answer to score-distribution drift: a few cheap
+        epochs on the recent slice re-anchor the model without paying
+        for a full retrain.  The threshold is recalibrated on
+        ``validation`` (or ``recent`` when absent) so the anomaly-ratio
+        contract holds against the *new* score distribution.
+
+        ``epochs``/``learning_rate`` override the config for this refit
+        only — drift refreshes typically use fewer epochs and a smaller
+        rate than the original fit.
+        """
+        self._require_fitted()
+        assert self.model is not None
+        recent = np.asarray(recent, dtype=np.float64)
+        if recent.ndim != 2:
+            raise ValueError(f"recent must be (time, features), got shape {recent.shape}")
+        if recent.shape[1] != self.model.n_features:
+            raise ValueError(
+                f"recent has {recent.shape[1]} features but the model was fit "
+                f"with {self.model.n_features}"
+            )
+        check_finite_series(recent, name="refit data")
+        overrides = {}
+        if epochs is not None:
+            overrides["epochs"] = epochs
+        if learning_rate is not None:
+            overrides["learning_rate"] = learning_rate
+        config = self.config.with_overrides(**overrides) if overrides else self.config
+        trainer = TFMAETrainer(self.model, config)
+        self.training_log = trainer.fit(recent, validation=validation)
+        self.calibrate_threshold(validation if validation is not None else recent)
+        return self
+
     def score(self, series: np.ndarray) -> np.ndarray:
         """Per-observation contrastive discrepancy (Eq. 16)."""
         self._require_fitted()

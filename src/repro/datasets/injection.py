@@ -30,6 +30,8 @@ __all__ = [
     "inject_scale_drift",
     "STREAM_FAULTS",
     "inject_stream_fault",
+    "DRIFT_SCENARIOS",
+    "inject_drift",
 ]
 
 
@@ -294,6 +296,84 @@ STREAM_FAULTS: dict[str, tuple[str, object]] = {
     "spike_corruption": ("point", inject_spike_corruption),
     "scale_drift": ("segment", inject_scale_drift),
 }
+
+
+# ---------------------------------------------------------------------------
+# Drift scenarios (persistent distribution shift, not anomalies or faults)
+# ---------------------------------------------------------------------------
+# A third regime next to anomalies (transient events to *flag*) and stream
+# faults (corruption to *survive*): drift is a persistent change in the
+# data-generating process that silently invalidates the calibrated
+# threshold (the Fig. 9 failure mode, made permanent).  The serving
+# lifecycle (repro.serve.lifecycle.DriftMonitor) must notice it and
+# refresh the model; these scenarios are its test vectors.  Each shifts
+# the distribution from an onset point to the end of the series.
+
+#: Drift-scenario names accepted by :func:`inject_drift`.
+DRIFT_SCENARIOS: tuple[str, ...] = (
+    "level_shift",
+    "variance_drift",
+    "trend_drift",
+    "seasonal_drift",
+    "noise_drift",
+)
+
+
+def inject_drift(
+    series: np.ndarray,
+    scenario: str,
+    rng: np.random.Generator,
+    onset_fraction: float = 0.5,
+    severity: float = 2.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Apply a persistent distribution shift to a ``(time, features)`` series.
+
+    From ``onset_fraction`` of the timeline onward, every channel shifts
+    according to ``scenario``; ``severity`` scales the shift in units of
+    the per-channel pre-onset standard deviation.  Returns
+    ``(drifted, mask)`` where ``mask`` marks the drifted suffix — ground
+    truth for drift-detection tests, *not* anomaly labels (under drift,
+    the shifted regime is the new normal).
+
+    Scenarios: ``level_shift`` (constant offset), ``variance_drift``
+    (amplitude rescaled about the pre-onset mean), ``trend_drift``
+    (accumulating linear ramp), ``seasonal_drift`` (oscillation resampled
+    at a faster rate), ``noise_drift`` (added Gaussian noise).
+    """
+    if scenario not in DRIFT_SCENARIOS:
+        raise ValueError(
+            f"unknown drift scenario {scenario!r}; known: {sorted(DRIFT_SCENARIOS)}"
+        )
+    if series.ndim != 2:
+        raise ValueError(f"expected (time, features), got shape {series.shape}")
+    if not 0.0 < onset_fraction < 1.0:
+        raise ValueError(f"onset_fraction must be in (0, 1), got {onset_fraction}")
+    time, features = series.shape
+    onset = max(1, min(time - 1, int(round(onset_fraction * time))))
+    out = series.astype(np.float64).copy()
+    mask = np.zeros(time, dtype=np.int64)
+    mask[onset:] = 1
+    tail = time - onset
+    for channel in range(features):
+        before = out[:onset, channel]
+        std = before.std() + 1e-8
+        mean = before.mean()
+        if scenario == "level_shift":
+            out[onset:, channel] += rng.choice([-1.0, 1.0]) * severity * std
+        elif scenario == "variance_drift":
+            factor = 1.0 + severity
+            out[onset:, channel] = mean + (out[onset:, channel] - mean) * factor
+        elif scenario == "trend_drift":
+            ramp = np.arange(tail) / max(1, tail)
+            out[onset:, channel] += rng.choice([-1.0, 1.0]) * severity * std * ramp * 3.0
+        elif scenario == "seasonal_drift":
+            factor = 1.0 + severity
+            source = out[onset:, channel]
+            positions = (np.arange(tail) * factor) % max(1, tail - 1)
+            out[onset:, channel] = np.interp(positions, np.arange(tail), source)
+        elif scenario == "noise_drift":
+            out[onset:, channel] += rng.normal(0.0, severity * std, size=tail)
+    return out, mask
 
 
 def inject_stream_fault(

@@ -19,12 +19,20 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
 
 from .module import Module
 from .optim import Optimizer
+
+#: Everything a damaged ``.npz`` can raise at read time.  ``np.load``
+#: surfaces a truncated archive as ``zipfile.BadZipFile`` and a corrupt
+#: member as ``zlib.error``/``EOFError`` — neither is an ``OSError``, so
+#: they must be caught explicitly or they escape as raw zip internals.
+_READ_ERRORS = (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile, zlib.error)
 
 __all__ = [
     "CheckpointError",
@@ -131,7 +139,7 @@ def load_model(module: Module, path: str | Path) -> Module:
     try:
         with np.load(path) as archive:
             state = {name: archive[name] for name in archive.files}
-    except (OSError, ValueError) as error:
+    except _READ_ERRORS as error:
         raise CheckpointError(f"checkpoint {path} is unreadable: {error}") from error
     # Accept both bare model archives and full training-state archives.
     if any(name.startswith(_MODEL_PREFIX) for name in state) and _META_KEY in state:
@@ -162,7 +170,7 @@ def load_metadata(path: str | Path) -> dict:
                     "by save_model() instead of save_training_state()?"
                 )
             payload = bytes(archive[_META_KEY])
-    except (OSError, ValueError) as error:
+    except _READ_ERRORS as error:
         raise CheckpointError(f"checkpoint {path} is unreadable: {error}") from error
     try:
         return json.loads(payload.decode("utf-8"))
@@ -212,7 +220,7 @@ def load_training_state(
     try:
         with np.load(path) as archive:
             members = {name: archive[name] for name in archive.files}
-    except (OSError, ValueError) as error:
+    except _READ_ERRORS as error:
         raise CheckpointError(f"checkpoint {path} is unreadable: {error}") from error
     if _META_KEY not in members:
         raise CheckpointError(

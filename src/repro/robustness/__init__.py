@@ -13,10 +13,15 @@ makes both hot paths survivable:
   backoff in the trainer;
 * :mod:`~repro.robustness.faults` — :class:`FaultPolicy`, the streaming
   degradation contract (impute, clamp, reject, fall back) consumed by
-  :class:`~repro.streaming.StreamingDetector`.
+  :class:`~repro.streaming.StreamingDetector`;
+* :mod:`~repro.robustness.chaos` — :class:`ChaosHarness`, fault
+  injection against a live ``repro.serve`` stack (corrupt/truncated
+  artifacts, slow loads, transient failures, worker exceptions, queue
+  saturation) asserting the graceful-degradation contract.
 """
 
 from ..nn.serialization import CheckpointError
+from .chaos import CHAOS_FAULTS, ChaosHarness
 from .checkpoint import CheckpointManager, config_fingerprint, fingerprint_mismatches
 from .faults import FaultPolicy, sanitize_observation
 from .guards import DivergenceGuard, GuardReport, TrainingDivergedError
@@ -31,4 +36,6 @@ __all__ = [
     "TrainingDivergedError",
     "FaultPolicy",
     "sanitize_observation",
+    "CHAOS_FAULTS",
+    "ChaosHarness",
 ]

@@ -18,6 +18,15 @@ Pieces (each usable standalone):
 * :class:`MetricsRegistry` — counters, gauges, and latency histograms
   (p50/p95/p99) recorded per endpoint and per model; also used by the
   serving throughput bench.
+* :mod:`~repro.serve.lifecycle` — the model lifecycle loop:
+  :class:`DriftMonitor` (live score-distribution drift),
+  :func:`shadow_compare` (candidate vs. live on identical windows), and
+  :class:`LifecycleManager` (guarded publish, post-publish watchdog,
+  atomic rollback via the registry's live pointer).
+* :class:`~repro.serve.breaker.CircuitBreaker` /
+  :class:`~repro.serve.breaker.RetryPolicy` — per-model load-failure
+  isolation: capped-backoff retries, then open-circuit degradation
+  (last-good version or 503 + ``Retry-After``).
 
 Quickstart (in-process)::
 
@@ -31,7 +40,25 @@ Quickstart (in-process)::
 See ``docs/serving.md`` for the architecture and API reference.
 """
 
-from .errors import ModelNotFound, Overloaded, RegistryError, ServeError
+from .breaker import CircuitBreaker, RetryPolicy
+from .errors import (
+    CircuitOpen,
+    ModelNotFound,
+    Overloaded,
+    RegistryError,
+    ServeError,
+    TransientFault,
+)
+from .lifecycle import (
+    DriftMonitor,
+    DriftReport,
+    LifecycleManager,
+    RefreshReport,
+    RollbackRecord,
+    ShadowReport,
+    WatchdogReport,
+    shadow_compare,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .registry import DetectorCodec, ModelRegistry, config_fingerprint, register_codec
 from .scheduler import MicroBatcher, ScoreRequest
@@ -42,6 +69,10 @@ __all__ = [
     "Overloaded",
     "ModelNotFound",
     "RegistryError",
+    "TransientFault",
+    "CircuitOpen",
+    "CircuitBreaker",
+    "RetryPolicy",
     "Counter",
     "Gauge",
     "Histogram",
@@ -53,4 +84,12 @@ __all__ = [
     "MicroBatcher",
     "ScoreRequest",
     "InferenceServer",
+    "DriftMonitor",
+    "DriftReport",
+    "ShadowReport",
+    "shadow_compare",
+    "LifecycleManager",
+    "RefreshReport",
+    "WatchdogReport",
+    "RollbackRecord",
 ]

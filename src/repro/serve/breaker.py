@@ -1,0 +1,156 @@
+"""Circuit breaker and retry policy for artifact loading.
+
+The failure modes these guard against are *load-time*, not score-time: a
+model whose artifact reads keep failing (disk fault, corrupt publish,
+poisoned cache host) must stop consuming retry budget on every request
+and must never take healthy models down with it.  The registry keeps one
+:class:`CircuitBreaker` per model name:
+
+* **closed** — loads proceed normally; consecutive failures are counted.
+* **open** — after ``failure_threshold`` consecutive failures, loads are
+  refused outright for ``reset_timeout`` seconds.  The registry then
+  serves the last-good resident version when one exists, or raises
+  :class:`~repro.serve.errors.CircuitOpen` (HTTP 503 + ``Retry-After``).
+* **half-open** — once the timeout elapses, exactly one probe load is
+  admitted; success closes the breaker, failure re-opens it for a fresh
+  timeout.
+
+:class:`RetryPolicy` is the companion for *transient* failures: capped
+exponential backoff (``base_delay * 2**attempt``, capped at
+``max_delay``), applied before a failure ever reaches the breaker.
+
+Both take injectable clocks/sleepers so tests and the chaos harness can
+run them at simulated time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Iterator
+
+__all__ = ["CircuitBreaker", "RetryPolicy"]
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probing."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if reset_timeout <= 0:
+            raise ValueError(f"reset_timeout must be > 0, got {reset_timeout}")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._opened_at: float | None = None
+        self._probe_in_flight = False
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half_open"``."""
+        with self._lock:
+            return self._state_unlocked()
+
+    def _state_unlocked(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self._clock() - self._opened_at >= self.reset_timeout:
+            return "half_open"
+        return "open"
+
+    @property
+    def retry_after(self) -> float:
+        """Seconds until the breaker half-opens (0 when not open)."""
+        with self._lock:
+            if self._opened_at is None:
+                return 0.0
+            return max(0.0, self.reset_timeout - (self._clock() - self._opened_at))
+
+    # ------------------------------------------------------------------
+    # transitions
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """Whether a load attempt may proceed right now.
+
+        Closed always allows; open refuses; half-open admits exactly one
+        probe at a time (concurrent callers are refused until the probe
+        reports success or failure).
+        """
+        with self._lock:
+            state = self._state_unlocked()
+            if state == "closed":
+                return True
+            if state == "half_open" and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A load succeeded: close the breaker and reset the count."""
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+            self._probe_in_flight = False
+
+    def record_failure(self) -> bool:
+        """A load failed (after retries); returns True when now open."""
+        with self._lock:
+            self._probe_in_flight = False
+            if self._opened_at is not None:
+                # Half-open probe failed (or a straggler while open):
+                # restart the timeout from now.
+                self._opened_at = self._clock()
+                return True
+            self._failures += 1
+            if self._failures >= self.failure_threshold:
+                self._opened_at = self._clock()
+                return True
+            return False
+
+    def force_open(self) -> None:
+        """Open immediately (operator action / chaos harness / tests)."""
+        with self._lock:
+            self._failures = self.failure_threshold
+            self._opened_at = self._clock()
+            self._probe_in_flight = False
+
+
+class RetryPolicy:
+    """Capped exponential backoff for transient load failures."""
+
+    def __init__(
+        self,
+        retries: int = 2,
+        base_delay: float = 0.05,
+        max_delay: float = 1.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if base_delay < 0 or max_delay < base_delay:
+            raise ValueError(
+                f"need 0 <= base_delay <= max_delay, got {base_delay}/{max_delay}"
+            )
+        self.retries = retries
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self._sleep = sleep
+
+    def delays(self) -> Iterator[float]:
+        """The backoff schedule: one capped-exponential delay per retry."""
+        for attempt in range(self.retries):
+            yield min(self.max_delay, self.base_delay * (2.0 ** attempt))
+
+    def sleep(self, delay: float) -> None:
+        self._sleep(delay)

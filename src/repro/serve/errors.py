@@ -7,7 +7,14 @@ callers (the bench harness, tests) can catch precisely what they expect.
 
 from __future__ import annotations
 
-__all__ = ["ServeError", "Overloaded", "ModelNotFound", "RegistryError"]
+__all__ = [
+    "ServeError",
+    "Overloaded",
+    "ModelNotFound",
+    "RegistryError",
+    "TransientFault",
+    "CircuitOpen",
+]
 
 
 class ServeError(RuntimeError):
@@ -36,3 +43,28 @@ class ModelNotFound(ServeError):
 
 class RegistryError(ServeError):
     """A registry artifact is missing, corrupt, or unpublishable."""
+
+
+class TransientFault(ServeError):
+    """A load failure expected to clear on retry (I/O hiccup, injected
+    chaos fault).  The registry retries these with capped exponential
+    backoff before counting a circuit-breaker failure; everything else
+    (corrupt artifact, missing version) fails without retrying."""
+
+
+class CircuitOpen(ServeError):
+    """The per-model circuit breaker is open and no last-good version is
+    resident to serve instead.
+
+    Carries ``retry_after`` (seconds until the breaker half-opens) so the
+    HTTP layer can answer 503 with a ``Retry-After`` header — the client
+    contract for "this model is sick, the service is not".
+    """
+
+    def __init__(self, model: str, retry_after: float):
+        super().__init__(
+            f"model {model!r} circuit breaker is open (repeated load failures); "
+            f"retry in {retry_after:.1f}s"
+        )
+        self.model = model
+        self.retry_after = retry_after

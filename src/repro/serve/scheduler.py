@@ -178,6 +178,11 @@ class MicroBatcher:
     # ------------------------------------------------------------------
     # client side
     # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting in the bounded queue."""
+        return self._queue.qsize()
+
     def submit(self, model_key: str, window: np.ndarray) -> Future:
         """Enqueue one window; the returned future resolves to its score.
 

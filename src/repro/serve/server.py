@@ -17,7 +17,8 @@ Endpoints
     the thresholded label (Eq. 17) for callers that alert without
     inspecting scores.
 ``GET /healthz``
-    Liveness plus queue depth and registered models.
+    Liveness plus per-model serving state: live version, circuit-breaker
+    state, quarantined artifacts, degraded flag, queue depth.
 ``GET /metrics``
     JSON snapshot of the :class:`~repro.serve.metrics.MetricsRegistry`
     (counters, gauges, latency histograms with p50/p95/p99).
@@ -25,8 +26,9 @@ Endpoints
     Registry listing: every model name with its versions.
 
 Error mapping: malformed request → 400, unknown model/version → 404,
-shed load (:class:`Overloaded`) → 429 with ``Retry-After``, anything
-else → 500.  All error bodies are ``{"error": ..., "detail": ...}``.
+shed load (:class:`Overloaded`) → 429 with ``Retry-After``, open circuit
+breaker / exhausted transient retries → 503 with ``Retry-After``,
+anything else → 500.  All error bodies are ``{"error": ..., "detail": ...}``.
 """
 
 from __future__ import annotations
@@ -39,7 +41,14 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
-from .errors import ModelNotFound, Overloaded, RegistryError, ServeError
+from .errors import (
+    CircuitOpen,
+    ModelNotFound,
+    Overloaded,
+    RegistryError,
+    ServeError,
+    TransientFault,
+)
 from .metrics import MetricsRegistry
 from .registry import ModelRegistry
 from .scheduler import MicroBatcher
@@ -135,6 +144,18 @@ class _Handler(BaseHTTPRequestHandler):
         except Overloaded as error:
             self._finish(path, started, 429,
                          {"error": "overloaded", "detail": str(error)},
+                         model=model, headers={"Retry-After": "1"})
+        except CircuitOpen as error:
+            # Per-model outage, not a service outage: this model's breaker
+            # is open and nothing last-good is resident.  503 + Retry-After
+            # tells clients when the half-open probe will be admitted.
+            self._finish(path, started, 503,
+                         {"error": "circuit_open", "detail": str(error)},
+                         model=model,
+                         headers={"Retry-After": str(max(1, math.ceil(error.retry_after)))})
+        except TransientFault as error:
+            self._finish(path, started, 503,
+                         {"error": "transient", "detail": str(error)},
                          model=model, headers={"Retry-After": "1"})
         except (RegistryError, ServeError, ValueError, RuntimeError) as error:
             self._finish(path, started, 500,
@@ -256,10 +277,21 @@ class InferenceServer:
         return body
 
     def health(self) -> dict:
+        """Liveness plus per-model serving state.
+
+        ``models`` maps each registered name to its
+        :meth:`~repro.serve.registry.ModelRegistry.status` — live
+        version, circuit-breaker state, quarantined artifacts, degraded
+        flag — so one poll answers "which models are sick", not just "is
+        the process up".  The top-level ``status`` turns ``"degraded"``
+        when any model is (the process still serves healthy models).
+        """
+        models = {name: self.registry.status(name) for name in self.registry.models()}
+        degraded = any(status["degraded"] for status in models.values())
         return {
-            "status": "ok",
-            "models": self.registry.models(),
-            "queue_depth": self.batcher._queue.qsize(),
+            "status": "degraded" if degraded else "ok",
+            "models": models,
+            "queue_depth": self.batcher.queue_depth,
             "workers": len(self.batcher._workers),
         }
 

@@ -31,6 +31,7 @@ Notes
 from __future__ import annotations
 
 import math
+import threading
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -106,6 +107,9 @@ class StreamingDetector:
         self._dimension: int | None = None
         self._degraded = False
         self._updates_since_degraded = 0
+        # Reentrant: update_many's fault-handling path recurses into
+        # update() while already holding the lock.
+        self._swap_lock = threading.RLock()
 
     @property
     def observations_seen(self) -> int:
@@ -160,8 +164,33 @@ class StreamingDetector:
             return score, float(policy.fallback.threshold_), flags
         return float("nan"), float("inf"), flags
 
+    def swap_detector(self, detector: BaseDetector) -> BaseDetector:
+        """Atomically replace the wrapped detector (model refresh).
+
+        Holds the same lock :meth:`update`/:meth:`update_many` hold for
+        the duration of a batch, so every in-flight batch is scored
+        entirely by one detector — a version swap can never mix weights
+        mid-batch (asserted bitwise in ``tests/serve/test_lifecycle.py``).
+        The rolling context buffer and counters carry over: the stream
+        continues seamlessly under the new model.  Returns the detector
+        that was serving.
+        """
+        if detector.threshold_ is None:
+            raise ValueError(
+                "replacement detector must be threshold-calibrated before streaming"
+            )
+        with self._swap_lock:
+            previous, self.detector = self.detector, detector
+            self._degraded = False
+            self._updates_since_degraded = 0
+        return previous
+
     def update(self, observation: np.ndarray) -> StreamEvent:
         """Ingest one observation and return its scored event."""
+        with self._swap_lock:
+            return self._update(observation)
+
+    def _update(self, observation: np.ndarray) -> StreamEvent:
         observation = np.asarray(observation, dtype=np.float64).reshape(-1)
         index = self._count
         self._count += 1
@@ -230,6 +259,10 @@ class StreamingDetector:
         raises the same :class:`ValueError` as :meth:`update`, before any
         observation of the batch is ingested.
         """
+        with self._swap_lock:
+            return self._update_many(observations)
+
+    def _update_many(self, observations: np.ndarray) -> list[StreamEvent]:
         observations = np.atleast_2d(np.asarray(observations, dtype=np.float64))
         if observations.ndim != 2:
             raise ValueError(
@@ -241,7 +274,7 @@ class StreamingDetector:
         # sanitization depends on the evolving buffer and degradation
         # flips per event.
         if self.policy is not None or self._degraded:
-            return [self.update(row) for row in observations]
+            return [self._update(row) for row in observations]
 
         # Validate the whole batch up front so the fast path fails before
         # ingesting anything, exactly where the serial loop would.

@@ -1,0 +1,27 @@
+"""Fixtures for the chaos suite: one small fitted TFMAE, shared."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TFMAE, TFMAEConfig
+
+
+@pytest.fixture(scope="module")
+def sine_series() -> np.ndarray:
+    rng = np.random.default_rng(0)
+    t = np.arange(600)
+    return np.sin(2 * np.pi * t / 25.0)[:, None] + rng.normal(0, 0.05, (600, 1))
+
+
+@pytest.fixture(scope="module")
+def fitted_tfmae(sine_series) -> TFMAE:
+    """One trained TFMAE for every chaos scenario (module scope: the
+    faults are injected around the model, never into its weights)."""
+    config = TFMAEConfig(window_size=50, d_model=16, num_layers=1, num_heads=2,
+                         anomaly_ratio=5.0, epochs=1, batch_size=8,
+                         learning_rate=1e-3)
+    detector = TFMAE(config)
+    detector.fit(sine_series[:400], sine_series[400:500])
+    return detector

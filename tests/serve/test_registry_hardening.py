@@ -1,0 +1,282 @@
+"""Registry lifecycle hardening: quarantine, live pointer, retries, breaker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import zipfile
+
+from repro.nn.serialization import CheckpointError, load_metadata
+from repro.serve import (
+    CircuitOpen,
+    ModelRegistry,
+    RegistryError,
+    TransientFault,
+)
+from repro.serve.errors import ModelNotFound
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _registry(root, **kwargs) -> ModelRegistry:
+    kwargs.setdefault("retry_backoff", 0.001)
+    kwargs.setdefault("sleep", lambda delay: None)
+    return ModelRegistry(root, **kwargs)
+
+
+def _truncate(path) -> None:
+    data = path.read_bytes()
+    path.write_bytes(data[: max(16, len(data) // 3)])
+
+
+class TestQuarantine:
+    def test_truncated_artifact_raises_typed_error_not_zip_internals(
+        self, tmp_path, fitted_tfmae
+    ):
+        """The satellite bug: a truncated ``.npz`` used to escape as a raw
+        ``zipfile.BadZipFile`` from deep inside numpy."""
+        registry = _registry(tmp_path)
+        registry.publish("tfmae", fitted_tfmae)
+        _truncate(registry._artifact_path("tfmae", "v1"))
+        try:
+            _registry(tmp_path).load("tfmae")
+            pytest.fail("loading a truncated artifact must raise")
+        except zipfile.BadZipFile:  # pragma: no cover - the regression
+            pytest.fail("raw zipfile.BadZipFile escaped the registry")
+        except RegistryError:
+            pass
+
+    def test_truncated_checkpoint_is_checkpoint_error(self, tmp_path, fitted_tfmae):
+        registry = _registry(tmp_path)
+        registry.publish("tfmae", fitted_tfmae)
+        path = registry._artifact_path("tfmae", "v1")
+        _truncate(path)
+        with pytest.raises(CheckpointError, match="unreadable"):
+            load_metadata(path)
+
+    def test_corrupt_artifact_quarantined_and_previous_version_served(
+        self, tmp_path, fitted_tfmae, sine_series
+    ):
+        registry = _registry(tmp_path)
+        registry.publish("tfmae", fitted_tfmae)
+        registry.publish("tfmae", fitted_tfmae)
+        window = sine_series[:50]
+        baseline, version = _registry(tmp_path).load("tfmae")
+        assert version == "v2"
+        expected = baseline.score_last(window[None])
+
+        _truncate(registry._artifact_path("tfmae", "v2"))
+        fresh = _registry(tmp_path)
+        detector, served = fresh.load("tfmae")
+        assert served == "v1"
+        # Versions are immutable snapshots of the same fit: the fallback
+        # serves the prior version's exact scores.
+        np.testing.assert_array_equal(detector.score_last(window[None]), expected)
+        # The damaged artifact is out of the way, not deleted.
+        assert fresh.quarantined("tfmae") == ["tfmae__v2.npz"]
+        assert not registry._artifact_path("tfmae", "v2").exists()
+        assert fresh.versions("tfmae") == ["v1"]
+        assert fresh.status("tfmae")["degraded"] is True
+
+    def test_corrupt_only_version_fails_with_registry_error(
+        self, tmp_path, fitted_tfmae
+    ):
+        registry = _registry(tmp_path)
+        registry.publish("tfmae", fitted_tfmae)
+        _truncate(registry._artifact_path("tfmae", "v1"))
+        fresh = _registry(tmp_path)
+        with pytest.raises(RegistryError, match="no loadable version"):
+            fresh.load("tfmae")
+        assert fresh.quarantined("tfmae") == ["tfmae__v1.npz"]
+
+
+class TestLivePointer:
+    def test_set_live_records_prior_and_resolves_loads(self, tmp_path, fitted_tfmae):
+        registry = _registry(tmp_path)
+        registry.publish("tfmae", fitted_tfmae)
+        registry.publish("tfmae", fitted_tfmae)
+        # Without a pointer the latest serves.
+        assert registry.live_version("tfmae") == "v2"
+        prior = registry.set_live("tfmae", "v2")
+        assert prior == "v1"
+        _, version = registry.load("tfmae")
+        assert version == "v2"
+
+    def test_publish_does_not_steal_the_live_pointer(self, tmp_path, fitted_tfmae):
+        registry = _registry(tmp_path)
+        registry.publish("tfmae", fitted_tfmae)
+        registry.set_live("tfmae", "v1")
+        registry.publish("tfmae", fitted_tfmae)
+        # v2 exists but is not promoted: guarded publishes stay dark
+        # until set_live moves the pointer.
+        assert registry.live_version("tfmae") == "v1"
+        _, version = registry.load("tfmae")
+        assert version == "v1"
+        _, pinned = registry.load("tfmae", "v2")
+        assert pinned == "v2"
+
+    def test_demote_live_restores_prior_atomically(self, tmp_path, fitted_tfmae):
+        registry = _registry(tmp_path)
+        registry.publish("tfmae", fitted_tfmae)
+        registry.publish("tfmae", fitted_tfmae)
+        registry.set_live("tfmae", "v2")
+        assert registry.demote_live("tfmae") == "v1"
+        assert registry.live_version("tfmae") == "v1"
+        _, version = registry.load("tfmae")
+        assert version == "v1"
+
+    def test_demote_without_prior_is_an_error(self, tmp_path, fitted_tfmae):
+        registry = _registry(tmp_path)
+        registry.publish("tfmae", fitted_tfmae)
+        with pytest.raises(RegistryError, match="no recorded prior"):
+            registry.demote_live("tfmae")
+
+    def test_set_live_unknown_version_is_not_found(self, tmp_path, fitted_tfmae):
+        registry = _registry(tmp_path)
+        registry.publish("tfmae", fitted_tfmae)
+        with pytest.raises(ModelNotFound):
+            registry.set_live("tfmae", "v9")
+
+
+class TestRetriesAndBreaker:
+    def test_transient_faults_absorbed_by_capped_backoff(self, tmp_path, fitted_tfmae):
+        sleeps: list[float] = []
+        registry = _registry(
+            tmp_path, load_retries=2, retry_backoff=0.01, sleep=sleeps.append
+        )
+        registry.publish("tfmae", fitted_tfmae)
+        remaining = {"count": 2}
+
+        def flaky(name: str, version: str) -> None:
+            if remaining["count"] > 0:
+                remaining["count"] -= 1
+                raise TransientFault("injected")
+
+        registry.load_fault_hook = flaky
+        _, version = registry.load("tfmae")
+        assert version == "v1"
+        # Exponential: base, then doubled.
+        assert sleeps == [0.01, 0.02]
+        assert registry.breaker_for("tfmae").state == "closed"
+
+    def test_persistent_failure_opens_breaker_and_serves_last_good(
+        self, tmp_path, fitted_tfmae, sine_series
+    ):
+        clock = FakeClock()
+        registry = _registry(
+            tmp_path, load_retries=0, breaker_threshold=3, breaker_reset=30.0,
+            clock=clock,
+        )
+        registry.publish("tfmae", fitted_tfmae)
+        good, _ = registry.load("tfmae")  # caches v1 as last-good
+        expected = good.score_last(sine_series[:50][None])
+
+        registry.publish("tfmae", fitted_tfmae)  # v2 becomes live, uncached
+
+        def always_fail(name: str, version: str) -> None:
+            raise TransientFault("injected persistent failure")
+
+        registry.load_fault_hook = always_fail
+        for _ in range(3):
+            detector, served = registry.load("tfmae")
+            # Degraded but serving: the resident v1 answers while v2 fails.
+            assert served == "v1"
+            np.testing.assert_array_equal(
+                detector.score_last(sine_series[:50][None]), expected
+            )
+        status = registry.status("tfmae")
+        assert status["breaker"] == "open"
+        assert status["degraded"] is True
+        assert status["last_good"] == "v1"
+        # Open breaker: no disk attempt at all, last-good still serves.
+        detector, served = registry.load("tfmae")
+        assert served == "v1"
+
+    def test_circuit_open_raised_without_last_good_then_recovers(
+        self, tmp_path, fitted_tfmae
+    ):
+        clock = FakeClock()
+        registry = _registry(
+            tmp_path, load_retries=0, breaker_threshold=2, breaker_reset=10.0,
+            clock=clock,
+        )
+        registry.publish("tfmae", fitted_tfmae)
+
+        def always_fail(name: str, version: str) -> None:
+            raise TransientFault("injected persistent failure")
+
+        registry.load_fault_hook = always_fail
+        for _ in range(2):
+            with pytest.raises(TransientFault):
+                registry.load("tfmae")
+        with pytest.raises(CircuitOpen) as excinfo:
+            registry.load("tfmae")
+        assert 0.0 < excinfo.value.retry_after <= 10.0
+        assert registry.status("tfmae")["breaker"] == "open"
+
+        # Past the reset timeout the half-open probe is admitted; with
+        # the fault cleared it closes the breaker again.
+        clock.advance(10.5)
+        registry.load_fault_hook = None
+        detector, version = registry.load("tfmae")
+        assert version == "v1"
+        assert registry.breaker_for("tfmae").state == "closed"
+
+    def test_half_open_failure_reopens(self, tmp_path, fitted_tfmae):
+        clock = FakeClock()
+        registry = _registry(
+            tmp_path, load_retries=0, breaker_threshold=1, breaker_reset=5.0,
+            clock=clock,
+        )
+        registry.publish("tfmae", fitted_tfmae)
+
+        def always_fail(name: str, version: str) -> None:
+            raise TransientFault("still broken")
+
+        registry.load_fault_hook = always_fail
+        with pytest.raises(TransientFault):
+            registry.load("tfmae")
+        clock.advance(5.5)  # half-open: one probe admitted, fails again
+        with pytest.raises(TransientFault):
+            registry.load("tfmae")
+        with pytest.raises(CircuitOpen):
+            registry.load("tfmae")
+
+
+class TestLoadFresh:
+    def test_load_fresh_returns_uncached_instance(self, tmp_path, fitted_tfmae, sine_series):
+        registry = _registry(tmp_path)
+        registry.publish("tfmae", fitted_tfmae)
+        cached_a, _ = registry.load("tfmae")
+        cached_b, _ = registry.load("tfmae")
+        assert cached_a is cached_b
+        fresh, version = registry.load_fresh("tfmae")
+        assert version == "v1"
+        assert fresh is not cached_a
+        # Same artifact, same scores — mutating the fresh copy (a refit)
+        # must not reach the cached serving instance.
+        window = sine_series[:50][None]
+        np.testing.assert_array_equal(
+            fresh.score_last(window), cached_a.score_last(window)
+        )
+        next(fresh.model.parameters()).data[:] = np.nan
+        assert np.all(np.isfinite(cached_a.score_last(window)))
+
+    def test_status_payload_shape(self, tmp_path, fitted_tfmae):
+        registry = _registry(tmp_path)
+        registry.publish("tfmae", fitted_tfmae)
+        status = registry.status("tfmae")
+        assert status["live"] == "v1"
+        assert status["versions"] == ["v1"]
+        assert status["breaker"] == "closed"
+        assert status["quarantined"] == []
+        assert status["degraded"] is False

@@ -148,6 +148,31 @@ class TestEndToEnd:
         assert status == 200
         assert body["status"] == "ok"
         assert "tfmae" in body["models"]
+        model = body["models"]["tfmae"]
+        assert model["live"] == "v2"
+        assert model["breaker"] == "closed"
+        assert model["degraded"] is False
+        assert body["queue_depth"] == 0
+        assert body["workers"] == 2
+
+    def test_forced_open_breaker_flips_healthz(self, served):
+        """Regression for the health payload: breaker state must surface
+        per model, flipping the top-level status to degraded."""
+        breaker = served.registry.breaker_for("tfmae")
+        try:
+            breaker.force_open()
+            status, body = _get(served.url, "/healthz")
+            assert status == 200
+            assert body["status"] == "degraded"
+            model = body["models"]["tfmae"]
+            assert model["breaker"] == "open"
+            assert model["degraded"] is True
+            assert model["retry_after"] > 0
+        finally:
+            breaker.record_success()
+        _, body = _get(served.url, "/healthz")
+        assert body["status"] == "ok"
+        assert body["models"]["tfmae"]["breaker"] == "closed"
 
     def test_models_listing(self, served):
         status, body = _get(served.url, "/models")
