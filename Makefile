@@ -1,6 +1,6 @@
 # Convenience targets for the TFMAE reproduction.
 
-.PHONY: install test lint check bench bench-tables bench-figures perf jit-bench robustness chaos serve serve-bench examples clean
+.PHONY: install test lint check bench bench-tables bench-figures perf jit-bench robustness chaos serve serve-bench multiproc-bench examples clean
 
 install:
 	python setup.py develop
@@ -62,6 +62,11 @@ serve:
 serve-bench:
 	PYTHONPATH=src pytest tests/serve/ -q
 	PYTHONPATH=src pytest benchmarks/bench_serving_throughput.py --benchmark-only -s
+
+# Process-pool tier: throughput/p99 vs worker count over live HTTP, plus
+# the shared-memory single-copy RSS verification (BENCH_multiproc.json).
+multiproc-bench:
+	PYTHONPATH=src python benchmarks/bench_multiproc_serving.py
 
 examples:
 	for f in examples/*.py; do echo "=== $$f ==="; python $$f; done

@@ -29,7 +29,13 @@ from repro.baselines import LOF, IsolationForest
 from repro.datasets import get_dataset, inject_stream_fault
 from repro.datasets.injection import STREAM_FAULTS
 
-from _common import BENCH_ANOMALY_RATIO, bench_scale, bench_tfmae_config, save_result
+from _common import (
+    BENCH_ANOMALY_RATIO,
+    bench_scale,
+    bench_tfmae_config,
+    save_json,
+    save_result,
+)
 
 DATASET = "SMD"
 CONTEXT = 100
@@ -54,7 +60,8 @@ def _detectors() -> dict:
 
 
 def _stream_f1(detector, series: np.ndarray, labels: np.ndarray,
-               policy: FaultPolicy | None) -> str:
+               policy: FaultPolicy | None) -> float | str:
+    """Point-adjusted F1% of the streamed split, or ``"FAIL(...)"``."""
     stream = StreamingDetector(detector, context=CONTEXT, warmup=CONTEXT, policy=policy)
     try:
         events = stream.update_many(series)
@@ -63,10 +70,14 @@ def _stream_f1(detector, series: np.ndarray, labels: np.ndarray,
     predictions = np.array([event.is_anomaly for event in events], dtype=np.int64)
     scored = slice(CONTEXT, None)
     metrics = evaluate_detection(predictions[scored], labels[scored], adjust=True)
-    return f"{metrics.f1 * 100:5.1f}"
+    return metrics.f1 * 100
 
 
-def run_fault_bench() -> str:
+def _cell(value: float | str) -> str:
+    return f"{value:5.1f}" if isinstance(value, float) else value
+
+
+def run_fault_bench() -> tuple[str, dict]:
     dataset = get_dataset(DATASET, seed=SEED, scale=bench_scale(DATASET)).normalised()
     test = dataset.test[STREAM_START:STREAM_START + STREAM_LEN]
     test_labels = dataset.test_labels[STREAM_START:STREAM_START + STREAM_LEN]
@@ -92,21 +103,54 @@ def run_fault_bench() -> str:
         header,
         "-" * len(header),
     ]
+    cells: dict[str, dict[str, dict[str, float | str]]] = {
+        "clean": {"off": {}}
+    }
     clean_row = [f"{'clean':<18} {'-':<7}"]
     for name, detector in detectors.items():
-        clean_row.append(f" {_stream_f1(detector, test, test_labels, None):>9}")
+        value = _stream_f1(detector, test, test_labels, None)
+        cells["clean"]["off"][name] = value
+        clean_row.append(f" {_cell(value):>9}")
     lines.append("".join(clean_row))
     for fault in FAULTS:
+        cells[fault] = {}
         for label, active_policy in (("off", None), ("on", policy)):
+            cells[fault][label] = {}
             row = [f"{fault:<18} {label:<7}"]
             for name, detector in detectors.items():
-                row.append(
-                    f" {_stream_f1(detector, corrupted[fault], test_labels, active_policy):>9}"
-                )
+                value = _stream_f1(detector, corrupted[fault], test_labels,
+                                   active_policy)
+                cells[fault][label][name] = value
+                row.append(f" {_cell(value):>9}")
             lines.append("".join(row))
-    return "\n".join(lines)
+    payload = {
+        "dataset": DATASET,
+        "stream_len": STREAM_LEN,
+        "methods": list(detectors),
+        "faults": FAULTS,
+        #: fault -> policy(off/on) -> method -> point-adjusted F1% (or
+        #: "FAIL(...)" when the unprotected stream dies on the input).
+        "f1_percent": cells,
+    }
+    return "\n".join(lines), payload
 
 
 def test_robustness_faults(benchmark):
-    table = benchmark.pedantic(run_fault_bench, rounds=1, iterations=1)
+    table, payload = benchmark.pedantic(run_fault_bench, rounds=1, iterations=1)
     save_result("robustness_faults", table)
+    save_json("robustness", payload)
+    # With the policy on, every fault cell must finish with a number —
+    # graceful degradation is the subsystem's contract.
+    for fault in payload["faults"]:
+        for method, value in payload["f1_percent"][fault]["on"].items():
+            assert isinstance(value, float), (fault, method, value)
+
+
+def main() -> None:
+    table, payload = run_fault_bench()
+    save_result("robustness_faults", table)
+    save_json("robustness", payload)
+
+
+if __name__ == "__main__":
+    main()

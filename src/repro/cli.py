@@ -90,8 +90,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--queue-size", type=int, default=256,
                        help="bounded request queue; beyond it requests are "
                             "shed with HTTP 429")
-    serve.add_argument("--workers", type=int, default=2,
-                       help="scoring worker threads")
+    serve.add_argument("--threads", type=int, default=None,
+                       help="scoring worker threads for the in-process tier "
+                            "(default 2; ignored when --procs > 0)")
+    serve.add_argument("--procs", type=int, default=0,
+                       help="scoring worker processes (shards past the GIL "
+                            "with shared-memory weights); 0 keeps the "
+                            "in-process thread tier")
+    serve.add_argument("--max-inflight", type=int, default=64,
+                       help="per-model in-flight quota in the process tier; "
+                            "beyond it requests are shed with HTTP 429")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="deprecated alias for --threads")
     serve.add_argument("--load-retries", type=int, default=2,
                        help="transient artifact-load failures retried per "
                             "request (capped exponential backoff)")
@@ -145,6 +155,22 @@ def _build_detector(args: argparse.Namespace):
                 anomaly_ratio=ratio, seed=args.seed)
 
 
+def _resolve_serve_threads(args: argparse.Namespace) -> int:
+    """Thread-worker count from --threads, honouring the --workers alias."""
+    if args.workers is not None:
+        import warnings
+
+        warnings.warn(
+            "--workers is deprecated; use --threads (thread tier) or "
+            "--procs (process tier) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if args.threads is None:
+            return args.workers
+    return args.threads if args.threads is not None else 2
+
+
 def _build_server(args: argparse.Namespace):
     """Construct (but do not start) the inference server for ``serve``."""
     from .serve import InferenceServer, ModelRegistry
@@ -178,7 +204,9 @@ def _build_server(args: argparse.Namespace):
         max_batch_size=args.max_batch_size,
         max_delay=args.max_delay_ms / 1000.0,
         max_queue=args.queue_size,
-        workers=args.workers,
+        workers=_resolve_serve_threads(args),
+        procs=args.procs,
+        max_inflight_per_model=args.max_inflight,
     )
 
 

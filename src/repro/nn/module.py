@@ -138,15 +138,25 @@ class Module:
         """Flat mapping of parameter names to array copies."""
         return OrderedDict((name, param.data.copy()) for name, param in self.named_parameters())
 
-    def load_state_dict(self, state: dict) -> None:
+    def load_state_dict(self, state: dict, copy: bool = True) -> None:
         """Load arrays produced by :meth:`state_dict` in-place.
+
+        ``copy=False`` **binds** each array as the parameter's storage
+        instead of copying it — the zero-copy path used to attach weights
+        that live in a shared-memory segment (see
+        :func:`repro.nn.serialization.unpack_state`).  Bound arrays may
+        be read-only; that is fine for inference but training would fail
+        on the first in-place update, so binding requires an exact dtype
+        match and drops any existing gradient.
 
         Raises
         ------
         KeyError
             If a parameter is missing from ``state``.
         ValueError
-            On any shape mismatch.
+            On any shape mismatch, or a dtype mismatch with ``copy=False``
+            (a silent cast there would materialise the private copy the
+            caller asked to avoid).
         """
         for name, param in self.named_parameters():
             if name not in state:
@@ -156,7 +166,16 @@ class Module:
                 raise ValueError(
                     f"shape mismatch for {name}: expected {param.shape}, got {value.shape}"
                 )
-            param.data = value.astype(param.data.dtype)
+            if copy:
+                param.data = value.astype(param.data.dtype)
+            else:
+                if value.dtype != param.data.dtype:
+                    raise ValueError(
+                        f"dtype mismatch for {name} with copy=False: expected "
+                        f"{param.data.dtype}, got {value.dtype}; cast before binding"
+                    )
+                param.data = value
+                param.grad = None
 
     # ------------------------------------------------------------------
     # call protocol

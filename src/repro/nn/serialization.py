@@ -12,6 +12,15 @@ Two layers of durability:
   capture optimizer state and a JSON metadata blob (epoch, RNG state,
   probe AUC, config fingerprint) in the same archive, which is what
   crash/resume in :class:`~repro.core.trainer.TFMAETrainer` builds on.
+
+A third, in-memory layer backs the multi-process serving tier
+(:mod:`repro.serve.shm`): :func:`state_layout` /
+:func:`pack_state_into` / :func:`unpack_state` lay a state dict out in
+one flat byte buffer with aligned offsets, so N worker processes can
+map a single read-only ``multiprocessing.shared_memory`` copy of the
+weights instead of each holding a private one.  The unpacked arrays are
+zero-copy views; bind them with ``Module.load_state_dict(state,
+copy=False)``.
 """
 
 from __future__ import annotations
@@ -42,7 +51,14 @@ __all__ = [
     "atomic_savez",
     "save_training_state",
     "load_training_state",
+    "state_layout",
+    "pack_state_into",
+    "unpack_state",
 ]
+
+#: Byte alignment of every array inside a packed state buffer.  64 bytes
+#: keeps each parameter cache-line aligned regardless of what precedes it.
+_PACK_ALIGN = 64
 
 #: Reserved archive member holding the JSON metadata of a training-state
 #: checkpoint (stored as a uint8 byte array; npz members must be arrays).
@@ -259,3 +275,73 @@ def load_training_state(
         if not name.startswith((_MODEL_PREFIX, _OPTIM_PREFIX))
     }
     return metadata, extra
+
+
+# ----------------------------------------------------------------------
+# flat-buffer state packing (shared-memory weight publishing)
+# ----------------------------------------------------------------------
+def state_layout(state: dict[str, np.ndarray]) -> tuple[int, list[dict]]:
+    """Plan a flat byte layout for a state dict.
+
+    Returns ``(total_bytes, manifest)`` where each manifest entry is a
+    JSON-serialisable ``{"key", "offset", "shape", "dtype"}`` record.
+    Offsets are 64-byte aligned so every array stays cache-line aligned
+    inside the buffer; iteration order follows the state dict, which for
+    :meth:`Module.state_dict` is the stable ``named_parameters`` order.
+    """
+    manifest: list[dict] = []
+    offset = 0
+    for key, array in state.items():
+        array = np.ascontiguousarray(array)
+        offset = (offset + _PACK_ALIGN - 1) // _PACK_ALIGN * _PACK_ALIGN
+        manifest.append({
+            "key": key,
+            "offset": offset,
+            "shape": list(array.shape),
+            "dtype": array.dtype.str,
+        })
+        offset += array.nbytes
+    return offset, manifest
+
+
+def pack_state_into(buffer, state: dict[str, np.ndarray],
+                    manifest: list[dict]) -> None:
+    """Copy every array of ``state`` into ``buffer`` at its planned offset.
+
+    ``buffer`` is any writable buffer (a ``SharedMemory.buf`` memoryview,
+    a ``bytearray``) at least ``total_bytes`` long.  This is the single
+    copy the publisher pays; every attach after it is zero-copy.
+    """
+    for entry in manifest:
+        array = np.ascontiguousarray(state[entry["key"]])
+        dtype = np.dtype(entry["dtype"])
+        if tuple(array.shape) != tuple(entry["shape"]) or array.dtype != dtype:
+            raise CheckpointError(
+                f"state entry {entry['key']!r} does not match its layout: "
+                f"{array.shape}/{array.dtype} vs {entry['shape']}/{entry['dtype']}"
+            )
+        view = np.frombuffer(buffer, dtype=dtype, count=array.size,
+                             offset=entry["offset"]).reshape(array.shape)
+        view[...] = array
+
+
+def unpack_state(buffer, manifest: list[dict],
+                 writeable: bool = False) -> dict[str, np.ndarray]:
+    """Rebuild a state dict of **views** into a packed buffer (zero-copy).
+
+    By default the views are read-only — the serving contract for weights
+    shared between worker processes, where one writer scribbling would
+    corrupt every reader.  Bind them into a module with
+    ``load_state_dict(state, copy=False)``.
+    """
+    state: dict[str, np.ndarray] = {}
+    for entry in manifest:
+        dtype = np.dtype(entry["dtype"])
+        shape = tuple(entry["shape"])
+        count = int(np.prod(shape)) if shape else 1
+        view = np.frombuffer(buffer, dtype=dtype, count=count,
+                             offset=entry["offset"]).reshape(shape)
+        if not writeable and view.flags.writeable:
+            view.flags.writeable = False
+        state[entry["key"]] = view
+    return state

@@ -36,6 +36,13 @@ Fault taxonomy (:data:`CHAOS_FAULTS`):
     Workers are gated shut and the bounded queue filled.  Expected:
     further submits shed immediately (429 ``Overloaded``), nothing is
     lost — every parked request completes once the gate opens.
+``worker_process_kill``
+    A process-pool worker is SIGKILLed mid-service (``--procs`` tier
+    only).  Expected: the supervisor detects the death, fails only that
+    worker's in-flight requests as retryable, re-routes its shard on
+    the consistent-hash ring, respawns through the slot's circuit
+    breaker, and routes the shard back — models on other workers keep
+    serving throughout.
 
 All injectors are reversible; use the harness as a context manager so
 ``clear()`` restores the pristine server even when an assertion fails.
@@ -82,6 +89,11 @@ CHAOS_FAULTS: dict[str, dict[str, str]] = {
         "target": "scheduler",
         "expect": "immediate shed (429); parked requests all complete on release",
     },
+    "worker_process_kill": {
+        "target": "pool",
+        "expect": "death detected; shard re-routed; worker respawned through "
+                  "the slot breaker; healthy models keep serving throughout",
+    },
 }
 
 
@@ -97,6 +109,8 @@ class ChaosHarness:
         self.server = server
         self.registry = server.registry
         self.batcher = server.batcher
+        #: The process-pool tier, when the server runs one (``--procs``).
+        self.pool = getattr(server, "pool", None)
         self._original_detector_for = self.batcher.detector_for
         self._gate: threading.Event | None = None
         self._parked: list[Future] = []
@@ -262,6 +276,39 @@ class ChaosHarness:
         self._parked = []
         self._gate = None
         return scores
+
+    # ------------------------------------------------------------------
+    # process-pool faults
+    # ------------------------------------------------------------------
+    def kill_worker(self, model: str | None = None, slot: str | None = None) -> dict:
+        """SIGKILL one pool worker — the one serving ``model``, or ``slot``.
+
+        Requires the server to run the process tier.  Returns
+        ``{"slot", "pid"}`` identifying the victim, for
+        :meth:`wait_for_respawn`.
+        """
+        if self.pool is None:
+            raise RuntimeError(
+                "worker_process_kill needs the process-pool tier; start the "
+                "server with procs > 0"
+            )
+        if slot is None:
+            slot = self.pool.worker_for(model if model is not None else "")
+        pid = self.pool.kill_worker(slot)
+        return {"slot": slot, "pid": pid}
+
+    def wait_for_respawn(self, victim: dict, timeout: float = 15.0) -> bool:
+        """Block until the killed slot is live again under a new pid."""
+        if self.pool is None:
+            return False
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            worker = self.pool.status()["workers"].get(victim["slot"])
+            if (worker is not None and worker["alive"]
+                    and worker["pid"] != victim["pid"]):
+                return True
+            time.sleep(0.05)
+        return False
 
     # ------------------------------------------------------------------
     # restore

@@ -13,6 +13,11 @@ Pieces (each usable standalone):
 * :class:`MicroBatcher` — bounded-queue micro-batching scheduler with a
   worker-thread pool, max-batch/max-delay flush policy, and explicit
   load-shedding (:class:`Overloaded`).
+* :class:`ProcessPool` — the multi-process scoring tier: supervised
+  worker processes sharded past the GIL, one shared-memory weight copy
+  per model (:class:`~repro.serve.shm.WeightSegment`), consistent-hash
+  model→worker routing (:class:`~repro.serve.hashring.HashRing`),
+  per-model admission quotas, and crash detection → re-route → respawn.
 * :class:`InferenceServer` — stdlib ``http.server`` front end exposing
   ``/score``, ``/predict``, ``/healthz``, ``/metrics``, ``/models``.
 * :class:`MetricsRegistry` — counters, gauges, and latency histograms
@@ -59,10 +64,13 @@ from .lifecycle import (
     WatchdogReport,
     shadow_compare,
 )
+from .hashring import HashRing
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .pool import ProcessPool
 from .registry import DetectorCodec, ModelRegistry, config_fingerprint, register_codec
 from .scheduler import MicroBatcher, ScoreRequest
 from .server import InferenceServer
+from .shm import WeightSegment, attach_segment
 
 __all__ = [
     "ServeError",
@@ -83,6 +91,10 @@ __all__ = [
     "config_fingerprint",
     "MicroBatcher",
     "ScoreRequest",
+    "ProcessPool",
+    "HashRing",
+    "WeightSegment",
+    "attach_segment",
     "InferenceServer",
     "DriftMonitor",
     "DriftReport",

@@ -1,9 +1,13 @@
 """Stdlib JSON-over-HTTP front end for the serving subsystem.
 
 Zero third-party dependencies: :class:`http.server.ThreadingHTTPServer`
-accepts connections (one handler thread per in-flight request), handlers
-enqueue windows into the shared :class:`~repro.serve.scheduler.MicroBatcher`,
-and its worker pool runs the vectorized forward passes.
+accepts connections (one handler thread per in-flight request) and
+handlers hand windows to the scoring tier.  Two tiers are available:
+the in-process :class:`~repro.serve.scheduler.MicroBatcher` thread pool
+(default), or — with ``procs > 0`` — the
+:class:`~repro.serve.pool.ProcessPool`, which shards scoring across
+worker processes (past the GIL) with shared-memory weights and
+consistent-hash routing.
 
 Endpoints
 ---------
@@ -50,6 +54,7 @@ from .errors import (
     TransientFault,
 )
 from .metrics import MetricsRegistry
+from .pool import ProcessPool
 from .registry import ModelRegistry
 from .scheduler import MicroBatcher
 
@@ -110,6 +115,14 @@ class _Handler(BaseHTTPRequestHandler):
     # routing
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 — http.server API
+        with self.app._track_request():
+            self._get()
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        with self.app._track_request():
+            self._post()
+
+    def _get(self) -> None:
         started = time.monotonic()
         path = self.path.split("?", 1)[0]
         if path == "/healthz":
@@ -122,7 +135,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._finish(path, started, 404,
                          {"error": "not_found", "detail": f"no route {path}"})
 
-    def do_POST(self) -> None:  # noqa: N802 — http.server API
+    def _post(self) -> None:
         started = time.monotonic()
         path = self.path.split("?", 1)[0]
         if path not in ("/score", "/predict"):
@@ -208,6 +221,24 @@ class _BurstTolerantHTTPServer(ThreadingHTTPServer):
     request_queue_size = 128
 
 
+class _InflightTracker:
+    """Counts one HTTP handler in/out of the server's in-flight set."""
+
+    __slots__ = ("_app",)
+
+    def __init__(self, app: "InferenceServer"):
+        self._app = app
+
+    def __enter__(self) -> None:
+        with self._app._inflight_cond:
+            self._app._inflight_http += 1
+
+    def __exit__(self, *exc_info) -> None:
+        with self._app._inflight_cond:
+            self._app._inflight_http -= 1
+            self._app._inflight_cond.notify_all()
+
+
 class InferenceServer:
     """Registry + micro-batcher + HTTP front end, wired and lifecycled.
 
@@ -229,6 +260,8 @@ class InferenceServer:
         max_delay: float = 0.002,
         max_queue: int = 256,
         workers: int = 1,
+        procs: int = 0,
+        max_inflight_per_model: int = 64,
         metrics: MetricsRegistry | None = None,
     ):
         self.registry = registry
@@ -241,9 +274,24 @@ class InferenceServer:
             workers=workers,
             metrics=self.metrics,
         )
+        #: ``procs > 0`` swaps the scoring tier: windows route to the
+        #: process pool (sharded past the GIL) instead of the in-process
+        #: thread scheduler; ``procs=0`` keeps the thread fallback.
+        self.pool: ProcessPool | None = None
+        if procs > 0:
+            self.pool = ProcessPool(
+                procs=procs,
+                max_inflight_per_model=max_inflight_per_model,
+                metrics=self.metrics,
+            )
         self._httpd = _BurstTolerantHTTPServer((host, port), _Handler)
         self._httpd.app = self  # type: ignore[attr-defined]
         self._serve_thread: threading.Thread | None = None
+        #: In-flight HTTP handler count: stop() drains these to zero
+        #: before the scoring tier goes away, so accepted requests
+        #: always complete (graceful shutdown).
+        self._inflight_http = 0
+        self._inflight_cond = threading.Condition()
 
     # ------------------------------------------------------------------
     # request handling (called from handler threads)
@@ -263,8 +311,14 @@ class InferenceServer:
         window = _parse_window(payload)
         # Resolve "latest" to a concrete version *before* batching so the
         # batcher groups requests by the version they will actually hit.
+        # The registry load also keeps the parent-side degradation ladder
+        # (retries, quarantine fallback, circuit breakers) in front of
+        # both scoring tiers.
         detector, resolved = self.registry.load(name, version)
-        score = self.batcher.score(f"{name}:{resolved}", window)
+        if self.pool is not None:
+            score = self.pool.score(name, resolved, detector, window)
+        else:
+            score = self.batcher.score(f"{name}:{resolved}", window)
         threshold = float(detector.threshold_)
         body = {
             "model": name,
@@ -288,12 +342,21 @@ class InferenceServer:
         """
         models = {name: self.registry.status(name) for name in self.registry.models()}
         degraded = any(status["degraded"] for status in models.values())
-        return {
+        body = {
             "status": "degraded" if degraded else "ok",
             "models": models,
             "queue_depth": self.batcher.queue_depth,
             "workers": len(self.batcher._workers),
         }
+        if self.pool is not None:
+            pool = self.pool.status()
+            body["pool"] = pool
+            # Dead worker shards are degraded service (requests re-route
+            # or fail retryable) even while every model's registry state
+            # is healthy.
+            if pool["alive"] < pool["procs"]:
+                body["status"] = "degraded"
+        return body
 
     def list_models(self) -> dict:
         return {
@@ -308,9 +371,31 @@ class InferenceServer:
         host, port = self._httpd.server_address[:2]
         return f"http://{host}:{port}"
 
+    def _track_request(self):
+        """Context manager counting in-flight HTTP handlers (for the drain)."""
+        return _InflightTracker(self)
+
+    def _start_scoring_tier(self) -> None:
+        if self.pool is not None:
+            self.pool.start()
+        else:
+            self.batcher.start()
+
+    def _stop_scoring_tier(self) -> None:
+        if self.pool is not None:
+            self.pool.stop()
+        self.batcher.stop()
+
+    def _drain_http(self, timeout: float = 10.0) -> None:
+        """Wait for accepted HTTP requests to finish before teardown."""
+        with self._inflight_cond:
+            self._inflight_cond.wait_for(
+                lambda: self._inflight_http == 0, timeout=timeout
+            )
+
     def start(self) -> tuple[str, int]:
-        """Start the batcher workers and the HTTP accept loop (background)."""
-        self.batcher.start()
+        """Start the scoring tier and the HTTP accept loop (background)."""
+        self._start_scoring_tier()
         if self._serve_thread is None:
             self._serve_thread = threading.Thread(
                 target=self._httpd.serve_forever, name="repro-serve-http", daemon=True,
@@ -321,10 +406,17 @@ class InferenceServer:
         return str(host), int(port)
 
     def stop(self) -> None:
-        """Stop accepting connections, drain the batcher, release the port."""
+        """Graceful shutdown: accept no more, drain in-flight, then teardown.
+
+        Order matters: ``shutdown()`` only stops *new* connections;
+        handler threads already inside ``/score`` still need the scoring
+        tier, so the batcher/pool stops only after the in-flight count
+        drains to zero.
+        """
         self._httpd.shutdown()
+        self._drain_http()
+        self._stop_scoring_tier()
         self._httpd.server_close()
-        self.batcher.stop()
         if self._serve_thread is not None:
             self._serve_thread.join(timeout=5.0)
             self._serve_thread = None
@@ -338,14 +430,17 @@ class InferenceServer:
 
     def serve_forever(self) -> None:
         """Foreground serve (the CLI path); Ctrl-C stops gracefully."""
-        self.batcher.start()
+        self._start_scoring_tier()
         host, port = self._httpd.server_address[:2]
+        tier = (f"{self.pool.procs} worker processes" if self.pool is not None
+                else f"{len(self.batcher._workers)} worker threads")
         print(f"repro.serve listening on http://{host}:{port} "
-              f"(models: {', '.join(self.registry.models()) or 'none'})")
+              f"({tier}; models: {', '.join(self.registry.models()) or 'none'})")
         try:
             self._httpd.serve_forever(poll_interval=0.2)
         except KeyboardInterrupt:
             print("\nshutting down (draining in-flight requests)...")
         finally:
+            self._drain_http()
+            self._stop_scoring_tier()
             self._httpd.server_close()
-            self.batcher.stop()

@@ -1,0 +1,159 @@
+"""Shared-memory weight segments: one physical copy for N worker processes.
+
+The process-pool tier (:mod:`repro.serve.pool`) must not pay N private
+copies of every model's weights.  The front-end therefore packs a
+module's state dict into **one** ``multiprocessing.shared_memory``
+segment (:class:`WeightSegment`, via the flat-buffer layout in
+:mod:`repro.nn.serialization`) and ships workers only the segment name
+plus the layout manifest.  Each worker attaches the segment and binds
+zero-copy, read-only numpy views as its parameters
+(``Module.load_state_dict(state, copy=False)``) — the kernel maps the
+same physical pages into every worker, so weight memory is O(1) in the
+worker count and shows up as ``RssShmem``, not ``RssAnon``, in each
+worker (asserted by ``benchmarks/bench_multiproc_serving.py``).
+
+Lifecycle: the **publisher** (front-end) owns the segment and unlinks it
+on close; **attachers** (workers) only close their mapping.  CPython's
+``SharedMemory`` registers every mapping — attach included — with the
+process tree's shared ``resource_tracker``, whose bookkeeping is a set:
+an attacher's registration aliases the publisher's, so any attacher
+exit would prompt the tracker to unlink a segment the rest of the pool
+is still serving from (the long-standing tracking bug fixed upstream
+only by 3.13's ``track=False``).  :func:`attach_segment` therefore
+suppresses registration for the duration of the attach — the publisher
+stays the segment's only registered owner.
+"""
+
+from __future__ import annotations
+
+import threading
+from multiprocessing import shared_memory
+
+from ..nn.module import Module
+from ..nn.serialization import pack_state_into, state_layout, unpack_state
+
+__all__ = ["WeightSegment", "attach_segment"]
+
+#: Serialises the brief resource-tracker patch inside attach_segment.
+_ATTACH_LOCK = threading.Lock()
+
+
+class WeightSegment:
+    """A published model's weights in one named shared-memory segment.
+
+    Construct with :meth:`publish` (front-end, owner) or
+    :func:`attach_segment` (worker, reader).  ``manifest`` is the
+    JSON-serialisable layout to ship alongside the segment ``name``.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, manifest: list[dict],
+                 nbytes: int, owner: bool):
+        self._shm = shm
+        self.manifest = manifest
+        self.nbytes = nbytes
+        self.owner = owner
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def publish(cls, module: Module, name: str | None = None) -> "WeightSegment":
+        """Pack ``module``'s state into a fresh segment (the one copy)."""
+        state = module.state_dict()
+        nbytes, manifest = state_layout(state)
+        shm = shared_memory.SharedMemory(create=True, name=name,
+                                         size=max(1, nbytes))
+        try:
+            pack_state_into(shm.buf, state, manifest)
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+        return cls(shm, manifest, nbytes, owner=True)
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def state(self, writeable: bool = False):
+        """Zero-copy state-dict views into the segment (read-only default)."""
+        return unpack_state(self._shm.buf, self.manifest, writeable=writeable)
+
+    def bind_into(self, module: Module) -> Module:
+        """Bind the segment's arrays as ``module``'s parameters (no copy)."""
+        module.load_state_dict(self.state(), copy=False)
+        return module
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop this mapping; the owner also unlinks the segment."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except BufferError:
+            # numpy views bound as parameters (or cached in JIT tapes)
+            # still reference the mapping.  Disarm the underlying object
+            # so its __del__ does not retry and spray tracebacks at
+            # interpreter shutdown; the kernel reclaims the mapping with
+            # the process.  POSIX happily unlinks a mapped segment — the
+            # pages go away with the last mapping.
+            self._disarm()
+        if self.owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def _disarm(self) -> None:
+        """Neutralise SharedMemory.__del__ after an un-closeable mapping."""
+        import os
+
+        try:
+            fd = self._shm._fd
+            if fd >= 0:
+                os.close(fd)
+            self._shm._fd = -1
+            self._shm._buf = None
+            self._shm._mmap = None
+        except (AttributeError, OSError):  # pragma: no cover - stdlib drift
+            pass
+
+    def __enter__(self) -> "WeightSegment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def attach_segment(name: str, manifest: list[dict]) -> WeightSegment:
+    """Attach an existing segment by name (worker side, never unlinks).
+
+    The attach runs with resource-tracker registration suppressed: the
+    tracker's per-type bookkeeping is a *set*, so letting an attacher
+    register would alias the publisher's entry and the first attacher
+    exit — clean or killed — would unlink a segment its siblings still
+    serve from.
+    """
+    from multiprocessing import resource_tracker
+
+    with _ATTACH_LOCK:
+        original = resource_tracker.register
+
+        def _skip_shm(res_name, rtype):
+            if rtype != "shared_memory":
+                original(res_name, rtype)
+
+        resource_tracker.register = _skip_shm
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+    return WeightSegment(shm, manifest, shm.size, owner=False)

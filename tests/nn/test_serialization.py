@@ -142,3 +142,95 @@ class TestTrainingState:
 
         with pytest.raises(CheckpointError, match="no checkpoint"):
             load_metadata(tmp_path / "ghost.npz")
+
+
+class TestSharedStateLayout:
+    """Flat-buffer layout for shared-memory weight segments."""
+
+    def test_layout_offsets_are_aligned_and_nonoverlapping(self):
+        from repro.nn.serialization import state_layout
+
+        state = _make_model(0).state_dict()
+        nbytes, manifest = state_layout(state)
+        previous_end = 0
+        for entry in manifest:
+            assert entry["offset"] % 64 == 0
+            assert entry["offset"] >= previous_end
+            array = state[entry["key"]]
+            assert tuple(entry["shape"]) == array.shape
+            assert np.dtype(entry["dtype"]) == array.dtype
+            previous_end = entry["offset"] + array.nbytes
+        assert nbytes >= previous_end
+        assert [e["key"] for e in manifest] == list(state)
+
+    def test_pack_unpack_roundtrip_is_bitwise(self):
+        from repro.nn.serialization import pack_state_into, state_layout, unpack_state
+
+        state = _make_model(1).state_dict()
+        nbytes, manifest = state_layout(state)
+        buffer = bytearray(nbytes)
+        pack_state_into(buffer, state, manifest)
+        restored = unpack_state(buffer, manifest)
+        assert set(restored) == set(state)
+        for key, array in state.items():
+            assert np.array_equal(restored[key], array)
+            assert restored[key].dtype == array.dtype
+
+    def test_unpacked_views_are_zero_copy_and_read_only(self):
+        from repro.nn.serialization import pack_state_into, state_layout, unpack_state
+
+        state = _make_model(2).state_dict()
+        nbytes, manifest = state_layout(state)
+        buffer = bytearray(nbytes)
+        pack_state_into(buffer, state, manifest)
+        views = unpack_state(buffer, manifest)
+        key = manifest[0]["key"]
+        assert not views[key].flags.writeable
+        with pytest.raises(ValueError):
+            views[key][...] = 0.0
+        # Zero-copy: mutating the buffer shows through the view.
+        writable = unpack_state(buffer, manifest, writeable=True)
+        writable[key][...] = 7.0
+        assert np.all(views[key] == 7.0)
+
+    def test_pack_rejects_mismatched_manifest(self):
+        from repro.nn.serialization import pack_state_into, state_layout
+
+        state = _make_model(3).state_dict()
+        nbytes, manifest = state_layout(state)
+        other = {k: v[..., :-1] if v.ndim > 1 else v for k, v in state.items()}
+        with pytest.raises(CheckpointError):
+            pack_state_into(bytearray(nbytes), other, manifest)
+
+
+class TestZeroCopyBind:
+    """Module.load_state_dict(copy=False): shared-segment binding."""
+
+    def test_bound_module_matches_source_bitwise(self, rng):
+        from repro.nn.serialization import pack_state_into, state_layout, unpack_state
+
+        source = _make_model(4)
+        nbytes, manifest = state_layout(source.state_dict())
+        buffer = bytearray(nbytes)
+        pack_state_into(buffer, source.state_dict(), manifest)
+        target = _make_model(5)
+        target.load_state_dict(unpack_state(buffer, manifest), copy=False)
+        x = rng.normal(size=(6, 3))
+        assert np.array_equal(source(Tensor(x)).data, target(Tensor(x)).data)
+        # The parameters ARE the buffer views, not copies.
+        for _name, param in target.named_parameters():
+            assert not param.data.flags.writeable
+            assert param.data.base is not None
+
+    def test_bind_rejects_dtype_mismatch(self):
+        source = _make_model(6)
+        state = {k: v.astype(np.float32) for k, v in source.state_dict().items()}
+        with pytest.raises(ValueError, match="dtype mismatch"):
+            source.load_state_dict(state, copy=False)
+
+    def test_copy_true_still_casts(self):
+        source = _make_model(7)
+        state = {k: v.astype(np.float32) for k, v in source.state_dict().items()}
+        source.load_state_dict(state, copy=True)
+        for _name, param in source.named_parameters():
+            assert param.data.dtype == np.float64

@@ -62,9 +62,10 @@ def test_fault_matrix_is_complete():
     assert set(CHAOS_FAULTS) == {
         "corrupt_artifact", "truncated_artifact", "slow_load",
         "transient_load_failure", "worker_exception", "queue_saturation",
+        "worker_process_kill",
     }
     for fault, spec in CHAOS_FAULTS.items():
-        assert spec["target"] in ("registry", "scheduler"), fault
+        assert spec["target"] in ("registry", "scheduler", "pool"), fault
         assert spec["expect"], fault
 
 
@@ -224,3 +225,56 @@ class TestSchedulerFaults:
                 assert all(score == expected for score in scores)
             status, _, _ = _post(server.url, "/score", payload)
             assert status == 200
+
+
+class TestPoolFaults:
+    def test_worker_kill_detect_respawn_recover(
+        self, tmp_path, fitted_tfmae, sine_series
+    ):
+        """worker_process_kill: detection → re-route → respawn → recovery.
+
+        Two models on a two-worker pool; SHA-1 ring placement is stable
+        across runs, so "tfmae" and "other" land on different workers.
+        Killing tfmae's worker must leave "other" serving bitwise-stable
+        scores throughout, and tfmae must come back on the respawned
+        worker with scores bitwise equal to before the crash.
+        """
+        payload = {"model": "tfmae", "window": sine_series[:50].tolist()}
+        other_payload = {"model": "other", "window": sine_series[:50].tolist()}
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish("tfmae", fitted_tfmae)
+        registry.publish("other", fitted_tfmae)
+        server = InferenceServer(registry, port=0, procs=2)
+        with server:
+            status, body, _ = _post(server.url, "/score", payload)
+            assert status == 200
+            baseline = body["score"]
+            status, body, _ = _post(server.url, "/score", other_payload)
+            assert status == 200
+            other_baseline = body["score"]
+            pool = server.pool
+            assert pool.worker_for("tfmae") != pool.worker_for("other")
+            with ChaosHarness(server) as chaos:
+                victim = chaos.kill_worker(model="tfmae")
+                # The healthy model's worker is untouched: it serves
+                # throughout the other shard's outage.
+                status, body, _ = _post(server.url, "/score", other_payload)
+                assert status == 200
+                assert body["score"] == other_baseline
+                assert chaos.wait_for_respawn(victim)
+            # Shard routed back to the respawned worker; scores are
+            # bitwise what they were before the crash (same shared
+            # weights, re-attached).
+            assert pool.worker_for("tfmae") == victim["slot"]
+            deadline = time.monotonic() + 10.0
+            while True:
+                status, body, _ = _post(server.url, "/score", payload)
+                if status == 200 or time.monotonic() >= deadline:
+                    break
+                time.sleep(0.05)  # 503 while the shard re-routes is contract
+            assert status == 200
+            assert body["score"] == baseline
+            health_status, health = _get(server.url, "/healthz")
+            assert health_status == 200
+            assert health["pool"]["workers"][victim["slot"]]["respawns"] >= 1
+            assert health["pool"]["alive"] == 2

@@ -33,7 +33,28 @@ class TestParser:
         assert args.max_batch_size == 32
         assert args.max_delay_ms == 2.0
         assert args.queue_size == 256
+        assert args.procs == 0  # thread tier unless --procs asks for the pool
+        assert args.threads is None and args.workers is None  # both default to 2
+        assert args.max_inflight == 64
         assert not args.demo
+
+    def test_serve_threads_flag_and_workers_alias(self):
+        from repro.cli import _resolve_serve_threads
+
+        args = build_parser().parse_args(["serve", "--threads", "4"])
+        assert _resolve_serve_threads(args) == 4
+
+        args = build_parser().parse_args(["serve"])
+        assert _resolve_serve_threads(args) == 2  # default
+
+        args = build_parser().parse_args(["serve", "--workers", "3"])
+        with pytest.warns(DeprecationWarning, match="--workers is deprecated"):
+            assert _resolve_serve_threads(args) == 3
+
+        # An explicit --threads wins over the deprecated alias.
+        args = build_parser().parse_args(["serve", "--workers", "3", "--threads", "5"])
+        with pytest.warns(DeprecationWarning):
+            assert _resolve_serve_threads(args) == 5
 
 
 class TestCommands:
@@ -96,6 +117,18 @@ class TestCommands:
         )
         server = _build_server(args)
         assert server.batcher.max_batch_size == 4
+        assert server.pool is None  # --procs 0 default: thread tier
         with server:
             score = server.batcher.score("demo:v1", series[:50])
         assert score == detector.score(series[:50])[-1]
+
+        # --procs switches the scoring tier to the process pool (built
+        # but not started here: workers spawn on server start).
+        args = build_parser().parse_args(
+            ["serve", "--registry", str(tmp_path), "--port", "0",
+             "--procs", "2", "--max-inflight", "8"]
+        )
+        pooled = _build_server(args)
+        assert pooled.pool is not None
+        assert pooled.pool.procs == 2
+        assert pooled.pool.max_inflight_per_model == 8
