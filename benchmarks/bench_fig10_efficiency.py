@@ -12,6 +12,8 @@ and AnoTran carry larger footprints.
 
 from __future__ import annotations
 
+import json
+
 from repro import TFMAE, evaluate_detector
 from repro.baselines import GPT4TS, AnomalyTransformer, DCdetector, TimesNet, TranAD
 from repro.eval import profile_detector
@@ -19,9 +21,11 @@ from repro.eval import profile_detector
 from _common import (
     BENCH_ANOMALY_RATIO,
     EPOCHS,
+    RESULTS_DIR,
     SEED,
     bench_dataset,
     bench_tfmae_config,
+    save_json,
     save_result,
 )
 
@@ -41,23 +45,30 @@ def _contenders() -> dict[str, object]:
     }
 
 
-def run_fig10() -> str:
+def run_fig10() -> tuple[str, dict]:
     dataset = bench_dataset("SMD")
     lines = [
         "Figure 10 (F1 vs training speed vs peak memory, SMD)",
         f"{'method':<14} {'F1%':>7} {'fit_s':>8} {'obs/s':>10} {'peak_MB':>9}",
     ]
+    rows: dict[str, dict] = {}
     for name, detector in _contenders().items():
         profile = profile_detector(detector, dataset)
         result = evaluate_detector(detector, dataset)  # refits; cheap at bench scale
+        rows[name] = {
+            "f1_pct": round(result.metrics.f1 * 100, 3),
+            "fit_s": round(profile.fit_seconds, 3),
+            "throughput_obs_per_s": round(profile.throughput_obs_per_s, 2),
+            "peak_memory_mb": round(profile.peak_memory_mb, 2),
+        }
         lines.append(
             f"{name:<14} {result.metrics.f1 * 100:>7.2f} {profile.fit_seconds:>8.2f} "
             f"{profile.throughput_obs_per_s:>10.1f} {profile.peak_memory_mb:>9.1f}"
         )
-    return "\n".join(lines)
+    return "\n".join(lines), {"contenders": rows}
 
 
-def run_dtype_delta() -> str:
+def run_dtype_delta() -> tuple[str, dict]:
     """TFMAE float32 vs float64 fit+score wall-clock and score drift.
 
     The compute-dtype policy (``TFMAEConfig.compute_dtype``, see
@@ -74,6 +85,7 @@ def run_dtype_delta() -> str:
         "TFMAE compute-dtype delta (same data/seed; see docs/performance.md)",
         f"{'dtype':<10} {'fit_s':>8} {'score_s':>9} {'obs/s':>10} {'max|dscore|':>12}",
     ]
+    rows: dict[str, dict] = {}
     scores: dict[str, object] = {}
     for dtype in ("float64", "float32"):
         detector = TFMAE(bench_tfmae_config("SMD", compute_dtype=dtype))
@@ -88,24 +100,41 @@ def run_dtype_delta() -> str:
             if len(scores) == 2
             else 0.0
         )
+        rows[dtype] = {
+            "fit_s": round(fit_s, 3),
+            "score_s": round(score_s, 3),
+            "throughput_obs_per_s": round(data.train.shape[0] / max(fit_s, 1e-9), 2),
+            "max_abs_score_delta": delta,
+        }
         lines.append(
             f"{dtype:<10} {fit_s:>8.2f} {score_s:>9.2f} "
             f"{data.train.shape[0] / max(fit_s, 1e-9):>10.1f} {delta:>12.2e}"
         )
-    return "\n".join(lines)
+    return "\n".join(lines), {"dtype_delta": rows}
 
 
 def test_fig10_efficiency(benchmark):
-    table = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
-    save_result("fig10_efficiency", table + "\n\n" + run_dtype_delta())
+    table, fig10_payload = benchmark.pedantic(run_fig10, rounds=1, iterations=1)
+    dtype_table, dtype_payload = run_dtype_delta()
+    save_result("fig10_efficiency", table + "\n\n" + dtype_table)
+    save_json("fig10_efficiency", {**fig10_payload, **dtype_payload})
 
 
 if __name__ == "__main__":
     # Refresh only the dtype-delta section, keeping the committed Figure 10
     # table (the full contender sweep is much more expensive).
-    from _common import RESULTS_DIR
-
     path = RESULTS_DIR / "fig10_efficiency.txt"
     existing = path.read_text().rstrip() if path.exists() else ""
     main_table = existing.split("\n\nTFMAE compute-dtype delta")[0]
-    save_result("fig10_efficiency", main_table + "\n\n" + run_dtype_delta())
+    dtype_table, dtype_payload = run_dtype_delta()
+    save_result("fig10_efficiency", main_table + "\n\n" + dtype_table)
+    json_path = RESULTS_DIR / "BENCH_fig10_efficiency.json"
+    merged: dict = {}
+    if json_path.exists():
+        merged = {
+            key: value
+            for key, value in json.loads(json_path.read_text()).items()
+            if key not in ("bench", "scale", "epochs")
+        }
+    merged.update(dtype_payload)
+    save_json("fig10_efficiency", merged)

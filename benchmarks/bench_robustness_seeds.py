@@ -23,6 +23,7 @@ from _common import (
     EPOCHS,
     bench_scale,
     bench_tfmae_config,
+    save_json,
     save_result,
 )
 
@@ -41,9 +42,10 @@ def _detectors(dataset: str, seed: int) -> dict:
     }
 
 
-def run_robustness() -> str:
+def run_robustness() -> tuple[str, dict]:
     lines = ["Seed robustness (point-adjusted F1%, mean +/- std over "
              f"seeds {SEEDS})"]
+    results: dict[str, dict] = {}
     for dataset_name in DATASETS:
         lines.append(f"\n{dataset_name}:")
         scores: dict[str, list[float]] = {}
@@ -52,12 +54,28 @@ def run_robustness() -> str:
             for name, detector in _detectors(dataset_name, seed).items():
                 result = evaluate_detector(detector, dataset)
                 scores.setdefault(name, []).append(result.metrics.f1 * 100)
+        results[dataset_name] = {
+            name: {
+                "f1_mean": round(float(np.mean(values)), 3),
+                "f1_std": round(float(np.std(values)), 3),
+                "runs": [round(v, 3) for v in values],
+            }
+            for name, values in scores.items()
+        }
         for name, values in scores.items():
             lines.append(f"  {name:<9} {np.mean(values):6.2f} +/- {np.std(values):5.2f}"
                          f"   (runs: {', '.join(f'{v:.1f}' for v in values)})")
-    return "\n".join(lines)
+    payload = {"seeds": SEEDS, "results": results}
+    return "\n".join(lines), payload
 
 
 def test_seed_robustness(benchmark):
-    table = benchmark.pedantic(run_robustness, rounds=1, iterations=1)
+    table, payload = benchmark.pedantic(run_robustness, rounds=1, iterations=1)
     save_result("robustness_seeds", table)
+    save_json("robustness_seeds", payload)
+
+
+if __name__ == "__main__":
+    table, payload = run_robustness()
+    save_result("robustness_seeds", table)
+    save_json("robustness_seeds", payload)

@@ -9,12 +9,14 @@ exactly the per-op overhead the tape exists to remove, and (worse) can
 silently route replay back through the graph where a hook might observe
 phantom ops.
 
-Scope: ``nn/jit.py`` only.  Tracing itself never needs to *build*
-tensors — it observes a forward the caller already ran; resolution works
-on ``.data`` buffers by identity.  If a future change genuinely needs a
-Tensor inside the jit module (e.g. a fallback that re-enters the
-interpreted path by calling back into model code), construct it at the
-call site outside ``nn/jit.py`` or suppress with a justification.
+Scope: ``nn/jit.py`` and ``nn/jit_train.py``.  Tracing itself never
+needs to *build* tensors — it observes a forward the caller already ran;
+resolution works on ``.data`` buffers by identity.  The train-step tape
+additionally replays backward and the optimizer update, which likewise
+must stay on raw buffers.  If a future change genuinely needs a Tensor
+inside either jit module (e.g. a fallback that re-enters the interpreted
+path by calling back into model code), construct it at the call site
+outside the jit modules or suppress with a justification.
 """
 
 from __future__ import annotations
@@ -31,7 +33,8 @@ class JitTensorRule(Rule):
     summary = "Tensor constructed inside tape-replay code"
 
     def applies_to(self, path: str) -> bool:
-        return path.replace("\\", "/").endswith("nn/jit.py")
+        normalized = path.replace("\\", "/")
+        return normalized.endswith(("nn/jit.py", "nn/jit_train.py"))
 
     def check(self, tree: ast.Module, path: str):
         for node in ast.walk(tree):

@@ -12,12 +12,18 @@ reuse the same names so the presets apply directly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import os
+from dataclasses import dataclass, field, replace
 
 from ..masking.frequency import FrequencyMaskStrategy
 from ..masking.temporal import TemporalMaskStrategy
 
 __all__ = ["TFMAEConfig", "PAPER_PRESETS", "preset_for"]
+
+
+def _default_jit_cache() -> int:
+    """Default tape-LRU capacity; ``REPRO_JIT_CACHE`` overrides it."""
+    return int(os.environ.get("REPRO_JIT_CACHE", "8"))
 
 
 @dataclass(frozen=True)
@@ -45,6 +51,18 @@ class TFMAEConfig:
     # roughly doubles BLAS throughput for production training/serving.
     # Scores are always returned as float64 regardless.
     compute_dtype: str = "float64"
+
+    # --- trace-compiled execution (see docs/performance.md) ---
+    # Train-step tape JIT: compile loss -> backward -> optimizer update
+    # into one generated function per (batch shape, dtype, fused policy).
+    # Bitwise-identical trajectory to the interpreted loop; falls back
+    # softly on untraceable steps.  The process-wide
+    # repro.nn.jit_train.set_train_jit toggle gates it as well.
+    train_jit: bool = True
+    # Most cached tapes per model (scoring) and per trainer (train step);
+    # the REPRO_JIT_CACHE env var overrides the default of 8.  Evictions
+    # are counted on the model/train-step objects for the benches.
+    jit_cache_size: int = field(default_factory=_default_jit_cache)
 
     # --- masking ---
     temporal_mask_ratio: float = 55.0      # r^(T) percent
@@ -127,6 +145,8 @@ class TFMAEConfig:
             raise ValueError(
                 f"compute_dtype must be 'float32' or 'float64', got {self.compute_dtype!r}"
             )
+        if self.jit_cache_size < 1:
+            raise ValueError("jit_cache_size must be >= 1")
         if self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
         if self.max_divergence_retries < 0:

@@ -37,9 +37,6 @@ __all__ = ["TemporalBranch", "FrequencyBranch", "TFMAEModel"]
 #: op; keep using the interpreted path without re-tracing every call.
 _UNSUPPORTED = object()
 
-#: Most cached tapes per model (each holds per-thread buffer frames).
-_TAPE_CACHE_SIZE = 8
-
 
 class TemporalBranch(Module):
     """Temporal masking-based autoencoder (paper Fig. 5, right).
@@ -265,7 +262,10 @@ class TFMAEModel(Module):
 
         # Compiled scoring tapes keyed (window shape, compute dtype,
         # fused policy); _UNSUPPORTED negative-caches untraceable keys.
+        # Capacity comes from config.jit_cache_size (REPRO_JIT_CACHE env
+        # overrides the default); evictions are counted for the benches.
         self._tapes: dict = {}
+        self.jit_evictions = 0
 
         self._dual = self.temporal is not None and self.frequency is not None
         if not self._dual:
@@ -310,23 +310,52 @@ class TFMAEModel(Module):
         Dual-branch mode uses the adversarial contrastive objective; the
         single-branch ablations use reconstruction MSE.
         """
-        p, f = self.forward(windows)
         with nn.default_dtype(self.compute_dtype):
-            if self._dual:
-                loss, metrics = self._contrastive_loss(p, f)
-            else:
-                representation = p if p is not None else f
-                reconstruction = self.reconstruction_head(representation)
-                loss = F.mse_loss(reconstruction, Tensor(windows))
-                metrics = {"reconstruction_mse": loss.item()}
+            slots = self._loss_prelude(windows)
+            loss, metric_tensors = self._loss_graph(slots)
+            metrics = {name: value.item() for name, value in metric_tensors.items()}
         return loss, metrics
 
-    def _contrastive_loss(self, p: Tensor, f: Tensor) -> tuple[Tensor, dict[str, float]]:
+    # -- trace-compiled training (see repro.nn.jit_train) ---------------
+    def _loss_prelude(self, windows: np.ndarray) -> dict:
+        """Interpreted per-call stage of the training loss.
+
+        Same contract as :meth:`_score_prelude`: consumes the maskers'
+        RNG and produces the named input slots the pure-tensor
+        :meth:`_loss_graph` stage reads, so the train-step tape can keep
+        them dynamic across replays.
+        """
+        self._validate_windows(windows)
+        slots = {"windows": _as_array(windows)}
+        if self.temporal is not None:
+            slots.update(self.temporal.prelude(windows))
+        if self.frequency is not None:
+            slots.update(self.frequency.prelude(windows))
+        return slots
+
+    def _loss_graph(self, slots: dict) -> tuple[Tensor, dict[str, Tensor]]:
+        """Pure-tensor loss graph over prelude slots (jit-traceable).
+
+        Returns the loss tensor plus the *tensor-valued* logging metrics;
+        :meth:`loss` converts them to floats, and the train-step tape
+        returns their compiled buffers so the trainer's loss trace is
+        identical on both paths.
+        """
+        p = self.temporal.graph(slots) if self.temporal is not None else None
+        f = self.frequency.graph(slots) if self.frequency is not None else None
+        if self._dual:
+            return self._contrastive_loss(p, f)
+        representation = p if p is not None else f
+        reconstruction = self.reconstruction_head(representation)
+        loss = F.mse_loss(reconstruction, Tensor(slots["windows"]))
+        return loss, {"reconstruction_mse": loss}
+
+    def _contrastive_loss(self, p: Tensor, f: Tensor) -> tuple[Tensor, dict[str, Tensor]]:
         config = self.config
         if not config.adversarial:
             # Plain contrastive objective (Eq. 14): both branches minimise.
             loss = F.symmetric_kl(p, f)
-            return loss, {"contrastive": loss.item()}
+            return loss, {"contrastive": loss}
 
         if config.reversed_adversarial:
             # "w/ L_radv": swap the roles of P and F in Eq. 15.
@@ -339,10 +368,7 @@ class TFMAEModel(Module):
         minimise = F.symmetric_kl(anchor.detach(), mover)
         maximise = F.symmetric_kl(anchor, mover.detach())
         loss = minimise - maximise
-        return loss, {
-            "minimise": minimise.item(),
-            "maximise": maximise.item(),
-        }
+        return loss, {"minimise": minimise, "maximise": maximise}
 
     # ------------------------------------------------------------------
     # anomaly score (Eq. 16)
@@ -418,6 +444,7 @@ class TFMAEModel(Module):
                 lambda: self._score_graph(slots), slots, self.parameters()
             )
             self._tapes[key] = tape if tape is not None else _UNSUPPORTED
-            while len(self._tapes) > _TAPE_CACHE_SIZE:
+            while len(self._tapes) > self.config.jit_cache_size:
                 self._tapes.pop(next(iter(self._tapes)))
+                self.jit_evictions += 1
             return self._score_post(out.data, interpreted=True)

@@ -29,6 +29,7 @@ from ..analysis.anomaly import AnomalyError, detect_anomaly
 from ..analysis.shapecheck import preflight_model
 from ..datasets.windows import non_overlapping_windows
 from ..metrics.ranking import roc_auc
+from ..nn.jit_train import TrainStep
 from ..nn.optim import Adam
 from ..robustness.checkpoint import CheckpointManager, config_fingerprint
 from ..robustness.guards import DivergenceGuard, TrainingDivergedError
@@ -51,6 +52,10 @@ _RESUMABLE_FIELDS = (
     "check_gradients",
     "preflight",
     "detect_anomaly",
+    # Execution strategy only: the compiled train step is bitwise-identical
+    # to the interpreted loop, so flipping it never forks a trajectory.
+    "train_jit",
+    "jit_cache_size",
 )
 
 
@@ -137,6 +142,15 @@ class TFMAETrainer:
             model.parameters(),
             lr=self.config.learning_rate,
             grad_clip=self.config.grad_clip,
+        )
+        # Trace-compiled train step (see repro.nn.jit_train): default-on,
+        # bitwise-identical to the interpreted loop, soft-falls-back per
+        # batch-shape key when the graph is untraceable.
+        self.train_step = TrainStep(
+            model,
+            self.optimizer,
+            enabled=self.config.train_jit,
+            cache_size=self.config.jit_cache_size,
         )
         self.log = TrainingLog()
 
@@ -276,16 +290,20 @@ class TFMAETrainer:
                 try:
                     sanitizer = detect_anomaly() if config.detect_anomaly else nullcontext()
                     with sanitizer:
-                        loss, metrics = self.model.loss(batch)
-                        loss_value = loss.item()
+                        # begin() dispatches to the compiled tape when one
+                        # matches this batch; under detect_anomaly the
+                        # active hook forces the interpreted path so op
+                        # attribution stays exact.
+                        handle = self.train_step.begin(batch)
+                        loss_value = handle.loss_value
+                        metrics = handle.metrics
                         # The adversarial objective's value is 0 by construction
                         # (min minus max of the same quantity), so log the
                         # minimisation component — the meaningful convergence trace.
                         tracked = metrics.get("minimise", loss_value)
                         report = guard.check_batch_loss(loss_value) or guard.check_batch_loss(tracked)
                         if report is None:
-                            self.optimizer.zero_grad()
-                            loss.backward()
+                            handle.backward()
                             report = guard.check_batch_gradients(self.optimizer.parameters)
                 except AnomalyError as anomaly:
                     # The sanitizer pinpointed the op that produced the first
@@ -294,7 +312,7 @@ class TFMAETrainer:
                     report = guard.report_anomaly(anomaly)
                 if report is not None:
                     break
-                self.optimizer.step()
+                handle.apply_update()
                 epoch_losses.append(tracked)
                 self.log.losses.append(tracked)
                 self.log.metrics.append(metrics)

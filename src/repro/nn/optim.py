@@ -89,7 +89,10 @@ class SGD(Optimizer):
                 update = velocity
             else:
                 update = param.grad
-            param.data = param.data - self.lr * update
+            # In-place update (bitwise-identical values to the historical
+            # rebinding form): keeps ``param.data`` identity stable so
+            # compiled tapes guarding on it survive optimisation steps.
+            np.subtract(param.data, self.lr * update, out=param.data)
 
     def state_dict(self) -> dict[str, np.ndarray]:
         state: dict[str, np.ndarray] = {"lr": np.asarray(self.lr)}
@@ -146,7 +149,11 @@ class Adam(Optimizer):
             v += (1.0 - self.beta2) * grad**2
             m_hat = m / bias1
             v_hat = v / bias2
-            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            # In-place update (bitwise-identical values to the historical
+            # rebinding form): scoring and train-step tapes guard on
+            # ``param.data`` identity, which must survive every step.
+            np.subtract(param.data, self.lr * m_hat / (np.sqrt(v_hat) + self.eps),
+                        out=param.data)
 
     def state_dict(self) -> dict[str, np.ndarray]:
         state: dict[str, np.ndarray] = {

@@ -275,7 +275,13 @@ class Tensor:
         if self.grad is None:
             # Private, owned buffer: later accumulations add into it
             # in place instead of allocating a fresh sum array each time.
-            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+            # order="C" matters for bitwise reproducibility: np.array's
+            # default order="K" preserves the layout of strided views
+            # (e.g. transpose backward), and downstream reductions sum in
+            # a layout-dependent pairwise order.  The compiled train step
+            # (repro.nn.jit_train) holds every gradient in a C-contiguous
+            # pool buffer, so the interpreted path must match.
+            self.grad = np.array(grad, dtype=self.data.dtype, copy=True, order="C")
         else:
             np.add(self.grad, grad, out=self.grad)
 

@@ -270,6 +270,11 @@ class RefreshReport:
     drift: DriftReport | None = None
     shadow: ShadowReport | None = None
     version: str | None = None
+    #: Wall-clock seconds the candidate refit took (None when the drift
+    #: gate stopped the attempt before training).  The compiled train
+    #: step (repro.nn.jit_train) drives this number; the lifecycle bench
+    #: tracks it across refreshes.
+    refit_seconds: float | None = None
 
 
 @dataclass(frozen=True)
@@ -452,6 +457,7 @@ class LifecycleManager:
         # Fresh instance: the live (cached, shared) object must never be
         # refit in place — in-flight batches are scoring through it.
         candidate, _ = self.registry.load_fresh(self.name, live_version)
+        refit_start = self._clock()
         if self._refit is not None:
             self._refit(candidate, recent, validation)
         else:
@@ -462,6 +468,7 @@ class LifecycleManager:
                     "LifecycleManager"
                 )
             refit(recent, validation)
+        refit_seconds = self._clock() - refit_start
         if probe_windows is None:
             probe_windows = _probe_windows_from(recent, live)
         shadow = shadow_compare(
@@ -473,13 +480,14 @@ class LifecycleManager:
                 refreshed=False,
                 reason="shadow disagreement: " + "; ".join(shadow.reasons),
                 drift=drift_report, shadow=shadow,
+                refit_seconds=refit_seconds,
             )
         version = self.publish_guarded(candidate, probe_windows)
         if self.drift is not None:
             self.drift.rebase(candidate.score_last(probe_windows))
         return RefreshReport(
             refreshed=True, reason="published", drift=drift_report,
-            shadow=shadow, version=version,
+            shadow=shadow, version=version, refit_seconds=refit_seconds,
         )
 
     # ------------------------------------------------------------------
