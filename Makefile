@@ -1,6 +1,6 @@
 # Convenience targets for the TFMAE reproduction.
 
-.PHONY: install test lint check bench bench-tables bench-figures perf jit-bench train-bench robustness chaos serve serve-bench multiproc-bench examples clean
+.PHONY: install test lint lockcheck check bench bench-tables bench-figures perf jit-bench train-bench robustness chaos serve serve-bench multiproc-bench examples clean
 
 install:
 	python setup.py develop
@@ -13,6 +13,13 @@ test-verbose:
 
 lint:
 	PYTHONPATH=src python -m repro analyze lint
+
+# Runtime lock-order checking: tier-1 + chaos run with every threading
+# lock instrumented (repro.analysis.lockcheck); session teardown fails
+# on any observed lock-order cycle or a lock held across process spawn.
+lockcheck:
+	PYTHONPATH=src REPRO_LOCKCHECK=1 pytest tests/ -q
+	PYTHONPATH=src REPRO_LOCKCHECK=1 pytest -m chaos tests/ -q
 
 check:
 	PYTHONPATH=src python -m repro analyze --all

@@ -13,7 +13,8 @@ Run with pytest-benchmark rounds:
 
     pytest benchmarks/bench_analysis_overhead.py --benchmark-only
 
-or produce the committed table (``results/analysis_overhead.txt``):
+or produce the committed artifacts (``results/analysis_overhead.txt``
+plus the machine-readable ``results/BENCH_analysis.json``):
 
     PYTHONPATH=src python benchmarks/bench_analysis_overhead.py
 """
@@ -21,9 +22,10 @@ or produce the committed table (``results/analysis_overhead.txt``):
 from __future__ import annotations
 
 import time
-from pathlib import Path
 
 import numpy as np
+
+from _common import save_json, save_result
 
 from repro.analysis import detect_anomaly, preflight_model
 from repro.core.config import TFMAEConfig
@@ -82,7 +84,7 @@ def _timeit(fn, *args, repeat: int = 20) -> float:
     return (time.perf_counter() - start) / repeat
 
 
-def main() -> str:
+def main() -> tuple[str, dict]:
     model, optimizer = _make_trainer_pieces()
     plain = _timeit(_step, model, optimizer)
     sanitized = _timeit(_sanitized_step, model, optimizer)
@@ -101,12 +103,21 @@ def main() -> str:
         "",
         f"{'preflight_model (paper config)':<36} {preflight * 1e3:8.2f} ms  (budget < 100 ms)",
     ]
-    return "\n".join(lines)
+    payload = {
+        "config": {"window_size": _CONFIG.window_size, "d_model": _CONFIG.d_model,
+                   "num_layers": _CONFIG.num_layers, "batch_size": _CONFIG.batch_size,
+                   "n_features": _FEATURES},
+        "train_step_plain_ms": plain * 1e3,
+        "train_step_detect_anomaly_ms": sanitized * 1e3,
+        "detect_anomaly_overhead_x": sanitized / plain,
+        "detect_anomaly_budget_x": 3.0,
+        "preflight_paper_config_ms": preflight * 1e3,
+        "preflight_budget_ms": 100.0,
+    }
+    return "\n".join(lines), payload
 
 
 if __name__ == "__main__":
-    table = main()
-    print(table)
-    out = Path(__file__).parent / "results" / "analysis_overhead.txt"
-    out.write_text(table + "\n", encoding="utf-8")
-    print(f"\nwrote {out}")
+    table, payload = main()
+    save_result("analysis_overhead", table)
+    save_json("analysis", payload)

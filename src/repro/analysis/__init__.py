@@ -12,12 +12,24 @@ Three coordinated layers (see ``docs/analysis.md``):
 * :mod:`repro.analysis.lint` — a stdlib-ast linter enforcing repo
   invariants (seeded RNG discipline, no in-place autograd mutation,
   locked module state in threaded code, ...) with per-line
-  ``# repro: noqa[RULE]`` suppression.
+  ``# repro: noqa[RULE]`` suppression;
+* :mod:`repro.analysis.concurrency` — the interprocedural concurrency
+  pass: global lock-order graph with cycle detection (LOCK002),
+  blocking-call-under-lock detection (BLK001), and thread-local policy
+  discipline (TLS001);
+* :mod:`repro.analysis.lockcheck` — the dynamic complement: instrumented
+  ``threading`` locks recording the *observed* lock-order graph, spawn
+  hazards, and hold-time histograms (``REPRO_LOCKCHECK=1``).
 
-CLI: ``python -m repro analyze [lint|shapecheck] [--all] [--json]``.
+CLI: ``python -m repro analyze [lint|shapecheck|concurrency] [--all] [--json]``.
 """
 
 from .anomaly import AnomalyError, detect_anomaly, tensor_stats
+from .concurrency import (
+    CONCURRENCY_CODES,
+    analyze_concurrency,
+    lock_graph_summary,
+)
 from .lint import (
     LintViolation,
     format_json,
@@ -25,6 +37,8 @@ from .lint import (
     lint_file,
     lint_paths,
     lint_source,
+    stale_suppressions,
+    suppressions_in,
 )
 from .rules import ALL_RULES
 from .shapecheck import (
@@ -48,6 +62,11 @@ __all__ = [
     "lint_paths",
     "format_text",
     "format_json",
+    "suppressions_in",
+    "stale_suppressions",
+    "CONCURRENCY_CODES",
+    "analyze_concurrency",
+    "lock_graph_summary",
     "OpRecord",
     "ShapeIssue",
     "ShapeCheckError",

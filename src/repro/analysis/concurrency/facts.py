@@ -1,0 +1,663 @@
+"""Per-module concurrency facts: locks, regions, blocking calls, call edges.
+
+This is the extraction half of the static concurrency analyzer (the
+global fixpoint and the rules live in :mod:`.rules`).  For every module
+it records:
+
+* **lock declarations** — ``threading.Lock/RLock/Condition`` and
+  :func:`repro.analysis.lockcheck.named_lock` construction sites, mapped
+  to stable lock identities (below);
+* **per-function facts** — for each function/method: the lock-acquire
+  events (``with lock:`` and ``lock.acquire()``) together with the locks
+  lexically held at that point, the blocking calls (file/socket/queue
+  I/O, sleeps, subprocess, shared-memory attach, process spawn) with the
+  same held-set, and an approximate outgoing call list (self-methods,
+  module functions, imported names) so :mod:`.rules` can close the facts
+  transitively.
+
+Lock identity
+-------------
+Deadlock analysis cares about lock *classes*, not instances, so ids are
+canonical names: a ``named_lock("serve.pool")`` literal is its own id;
+``self._lock`` assigned in class ``C`` of module ``m`` becomes
+``m.C._lock``; a module-level ``LOCK = threading.Lock()`` becomes
+``m.LOCK``.  A lock-looking attribute that cannot be traced to a
+declaration resolves through the global attribute map when the attribute
+name is unique tree-wide, else falls back to the spelled expression
+(``attr:handle.send_lock``) — approximate, but it never merges two
+unrelated locks into one node, so it cannot invent a cycle.
+
+Everything here is conservative in the direction of *missing* facts
+rather than fabricating them: an unresolvable call contributes no edges,
+a lock we cannot name contributes a private node.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+from ..rules.base import dotted_name
+
+__all__ = [
+    "LockDecl",
+    "AcquireEvent",
+    "BlockEvent",
+    "CallEvent",
+    "FunctionFacts",
+    "ModuleFacts",
+    "TreeFacts",
+    "collect_module",
+    "module_name_for",
+]
+
+_LOCKISH_NAME = re.compile(r"lock|mutex|cond|sema", re.IGNORECASE)
+
+#: ``threading`` constructors recognised as lock declarations.
+_LOCK_CTORS = {
+    "threading.Lock": "lock",
+    "threading.RLock": "rlock",
+    "threading.Condition": "condition",
+    "Lock": "lock",
+    "RLock": "rlock",
+    "Condition": "condition",
+}
+
+# --- blocking-call tables -------------------------------------------------
+#: dotted-name suffix -> reason (matched against the full dotted callee).
+_BLOCKING_EXACT = {
+    "time.sleep": "time.sleep",
+    "os.system": "subprocess execution",
+    "json.dump": "file write (json.dump)",
+    "np.load": "artifact read (np.load)",
+    "numpy.load": "artifact read (np.load)",
+    "np.save": "artifact write",
+    "np.savez": "artifact write",
+    "np.savez_compressed": "artifact write",
+    "numpy.savez_compressed": "artifact write",
+}
+_BLOCKING_PREFIXES = {
+    "subprocess.": "subprocess execution",
+    "socket.": "socket I/O",
+}
+#: bare callable names that block wherever they appear.
+_BLOCKING_BARE = {
+    "open": "file I/O (open)",
+    "save_training_state": "artifact write",
+    "load_training_state": "artifact read",
+    "load_metadata": "artifact read",
+    "SharedMemory": "shared-memory attach/create",
+}
+#: attribute names that block regardless of receiver.
+_BLOCKING_ATTRS = {
+    "sleep": "sleep",
+    "read_text": "file I/O",
+    "write_text": "file I/O",
+    "read_bytes": "file I/O",
+    "write_bytes": "file I/O",
+    "glob": "directory I/O",
+    "rglob": "directory I/O",
+    "iterdir": "directory I/O",
+    "mkdir": "directory I/O",
+    "recv": "pipe/socket recv",
+    "recv_bytes": "pipe/socket recv",
+    "accept": "socket accept",
+    "connect": "socket connect",
+    "sendall": "socket send",
+    "save_training_state": "artifact write",
+    "load_training_state": "artifact read",
+    "load_metadata": "artifact read",
+    "SharedMemory": "shared-memory attach/create",
+}
+#: attribute names that block only on receivers whose last segment
+#: contains one of the listed substrings (``self._queue.get`` blocks,
+#: ``config.get`` does not).
+_RECEIVER_GATED: dict[str, tuple[tuple[str, ...], str]] = {
+    "get": (("queue", "inbox"), "queue.get"),
+    "put": (("queue", "inbox"), "queue.put"),
+    "join": (("proc", "thread", "worker", "supervisor", "receiver"),
+             "thread/process join"),
+    "send": (("conn", "sock", "pipe", "chan"), "pipe/socket send"),
+    "wait": (("event", "gate", "cond", "stop", "done"), "event/condition wait"),
+    "wait_for": (("cond",), "condition wait"),
+    "start": (("proc",), "process spawn"),
+    "result": (("future", "fut", "pending"), "future wait"),
+}
+
+
+@dataclass(frozen=True)
+class LockDecl:
+    """One lock identity, with where and how it was declared."""
+
+    lock_id: str
+    kind: str  # lock | rlock | condition
+    blocking_ok: bool
+    path: str
+    line: int
+
+
+@dataclass(frozen=True)
+class AcquireEvent:
+    lock_id: str
+    line: int
+    col: int
+    held: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class BlockEvent:
+    reason: str
+    line: int
+    col: int
+    held: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class CallEvent:
+    target: tuple[str, str] | None  # (module, qualname) when resolved
+    display: str
+    line: int
+    col: int
+    held: tuple[str, ...]
+
+
+@dataclass
+class FunctionFacts:
+    module: str
+    qualname: str
+    path: str
+    acquires: list[AcquireEvent] = field(default_factory=list)
+    blocks: list[BlockEvent] = field(default_factory=list)
+    calls: list[CallEvent] = field(default_factory=list)
+
+
+@dataclass
+class ModuleFacts:
+    module: str
+    path: str
+    functions: dict[str, FunctionFacts] = field(default_factory=dict)
+    decls: list[LockDecl] = field(default_factory=list)
+    #: attr/name -> lock_id, for this module's own declarations.
+    local_locks: dict[tuple[str | None, str], str] = field(default_factory=dict)
+    #: local name -> (module, attr-or-None) import bindings.
+    imports: dict[str, tuple[str, str | None]] = field(default_factory=dict)
+    #: functions (qualname) returning a named lock -> that lock id.
+    lock_returns: dict[str, str] = field(default_factory=dict)
+    classes: set[str] = field(default_factory=set)
+
+
+class TreeFacts:
+    """All modules' facts plus the cross-module resolution maps."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleFacts] = {}
+        #: attribute name -> set of lock ids declared under it, tree-wide.
+        self.attr_locks: dict[str, set[str]] = {}
+        #: lock_id -> LockDecl (first declaration wins).
+        self.decls: dict[str, LockDecl] = {}
+
+    def add(self, mod: ModuleFacts) -> None:
+        self.modules[mod.module] = mod
+        for decl in mod.decls:
+            self.decls.setdefault(decl.lock_id, decl)
+        for (_cls, attr), lock_id in mod.local_locks.items():
+            self.attr_locks.setdefault(attr, set()).add(lock_id)
+
+    def blocking_ok(self, lock_id: str) -> bool:
+        decl = self.decls.get(lock_id)
+        return decl is not None and decl.blocking_ok
+
+    def function(self, target: tuple[str, str]) -> FunctionFacts | None:
+        mod = self.modules.get(target[0])
+        if mod is None:
+            return None
+        fn = mod.functions.get(target[1])
+        if fn is None:
+            fn = mod.functions.get(target[1] + ".__init__")
+        return fn
+
+
+def module_name_for(path: str, root: str | None = None) -> str:
+    """Dotted module name for a file path.
+
+    Files inside a ``repro`` tree are named from the last ``repro``
+    component (``.../src/repro/serve/pool.py`` -> ``repro.serve.pool``);
+    anything else is named relative to ``root`` so test fixtures resolve
+    their own absolute imports.
+    """
+    from pathlib import Path
+
+    parts = list(Path(path).with_suffix("").parts)
+    if "repro" in parts:
+        parts = parts[len(parts) - 1 - parts[::-1].index("repro"):]
+    elif root is not None:
+        try:
+            parts = list(Path(path).with_suffix("").relative_to(Path(root)).parts)
+        except ValueError:
+            parts = [Path(path).stem]
+    else:
+        parts = [Path(path).stem]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or Path(path).stem
+
+
+# ----------------------------------------------------------------------
+# declaration extraction (phase A)
+# ----------------------------------------------------------------------
+def _lock_ctor_of(node: ast.AST) -> tuple[str, str | None, bool] | None:
+    """(kind, literal_name, blocking_ok) when ``node`` constructs a lock."""
+    if not isinstance(node, ast.Call):
+        return None
+    dotted = dotted_name(node.func)
+    if dotted is None:
+        return None
+    if dotted in _LOCK_CTORS:
+        return (_LOCK_CTORS[dotted], None, False)
+    if dotted == "named_lock" or dotted.endswith(".named_lock"):
+        name = None
+        if node.args and isinstance(node.args[0], ast.Constant) \
+                and isinstance(node.args[0].value, str):
+            name = node.args[0].value
+        kind, blocking_ok = "lock", False
+        for keyword in node.keywords:
+            if keyword.arg == "kind" and isinstance(keyword.value, ast.Constant):
+                kind = str(keyword.value.value)
+            if keyword.arg == "blocking_ok" \
+                    and isinstance(keyword.value, ast.Constant):
+                blocking_ok = bool(keyword.value.value)
+        return (kind, name, blocking_ok)
+    return None
+
+
+class _DeclCollector(ast.NodeVisitor):
+    """Find every lock declaration in a module (phase A)."""
+
+    def __init__(self, mod: ModuleFacts):
+        self.mod = mod
+        self._class: str | None = None
+
+    def _declare(self, cls: str | None, attr: str, ctor, node: ast.AST) -> str:
+        kind, literal, blocking_ok = ctor
+        if literal:
+            lock_id = literal
+        elif cls:
+            lock_id = f"{self.mod.module}.{cls}.{attr}"
+        else:
+            lock_id = f"{self.mod.module}.{attr}"
+        self.mod.decls.append(LockDecl(lock_id, kind, blocking_ok,
+                                       self.mod.path, node.lineno))
+        self.mod.local_locks[(cls, attr)] = lock_id
+        return lock_id
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        outer, self._class = self._class, node.name
+        self.mod.classes.add(node.name)
+        self.generic_visit(node)
+        self._class = outer
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        ctor = _lock_ctor_of(node.value)
+        if ctor:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._declare(self._class, target.id, ctor, node)
+                elif (isinstance(target, ast.Attribute)
+                      and isinstance(target.value, ast.Name)
+                      and target.value.id == "self"):
+                    self._declare(self._class, target.attr, ctor, node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # Locks handed over as keyword arguments at construction sites
+        # (e.g. ``_WorkerHandle(..., send_lock=named_lock(...))``) still
+        # declare the attribute they will live under.
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            ctor = _lock_ctor_of(keyword.value)
+            if ctor:
+                self._declare(None, keyword.arg, ctor, keyword.value)
+        # A standalone named_lock() literal declares its id even when the
+        # assignment target is not a plain name (dict values, returns).
+        ctor = _lock_ctor_of(node)
+        if ctor and ctor[1]:
+            kind, literal, blocking_ok = ctor
+            self.mod.decls.append(LockDecl(literal, kind, blocking_ok,
+                                           self.mod.path, node.lineno))
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def _visit_function(self, node) -> None:
+        qualname = f"{self._class}.{node.name}" if self._class else node.name
+        # Helper methods that *return* a lock (``_name_lock``): remember
+        # the named_lock literal inside so call sites resolve to it.
+        if _LOCKISH_NAME.search(node.name):
+            for sub in ast.walk(node):
+                ctor = _lock_ctor_of(sub)
+                if ctor and ctor[1]:
+                    self.mod.lock_returns[qualname] = ctor[1]
+                    break
+        self.generic_visit(node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            self.mod.imports[local] = (
+                alias.name if alias.asname else alias.name.split(".")[0],
+                None,
+            )
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        base = node.module or ""
+        if node.level:
+            parts = self.mod.module.split(".")
+            parts = parts[: len(parts) - node.level]
+            base = ".".join(parts + ([node.module] if node.module else []))
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            self.mod.imports[alias.asname or alias.name] = (base, alias.name)
+
+
+# ----------------------------------------------------------------------
+# function walking (phase B)
+# ----------------------------------------------------------------------
+class _FunctionWalker:
+    """Walk one function body tracking the lexically-held lock set."""
+
+    def __init__(self, tree: TreeFacts, mod: ModuleFacts,
+                 qualname: str, cls: str | None):
+        self.tree = tree
+        self.mod = mod
+        self.cls = cls
+        self.facts = FunctionFacts(mod.module, qualname, mod.path)
+        self.aliases: dict[str, str] = {}
+
+    # -- lock resolution -----------------------------------------------
+    def resolve_lock(self, expr: ast.AST) -> str | None:
+        if isinstance(expr, ast.Name):
+            if expr.id in self.aliases:
+                return self.aliases[expr.id]
+            lock_id = self.mod.local_locks.get((None, expr.id))
+            if lock_id:
+                return lock_id
+            if _LOCKISH_NAME.search(expr.id):
+                return f"{self.mod.module}.{expr.id}"
+            return None
+        if isinstance(expr, ast.Attribute):
+            attr = expr.attr
+            if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+                lock_id = self.mod.local_locks.get((self.cls, attr))
+                if lock_id:
+                    return lock_id
+            if not _LOCKISH_NAME.search(attr):
+                return None
+            for (cls, name), lock_id in self.mod.local_locks.items():
+                if name == attr:
+                    return lock_id
+            candidates = self.tree.attr_locks.get(attr, set())
+            if len(candidates) == 1:
+                return next(iter(candidates))
+            spelled = dotted_name(expr)
+            return f"attr:{spelled or attr}"
+        if isinstance(expr, ast.Call):
+            # ``with self._name_lock(name):`` — a lock-returning helper.
+            func = expr.func
+            if isinstance(func, ast.Attribute) and _LOCKISH_NAME.search(func.attr):
+                if isinstance(func.value, ast.Name) and func.value.id == "self" \
+                        and self.cls:
+                    qualname = f"{self.cls}.{func.attr}"
+                    if qualname in self.mod.lock_returns:
+                        return self.mod.lock_returns[qualname]
+                    return f"{self.mod.module}.{qualname}()"
+            return None
+        if isinstance(expr, ast.Subscript):
+            base = self.resolve_lock(expr.value)
+            return f"{base}[]" if base else None
+        return None
+
+    # -- call resolution -----------------------------------------------
+    def resolve_call(self, func: ast.AST) -> tuple[tuple[str, str] | None, str]:
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in self.mod.imports:
+                module, attr = self.mod.imports[name]
+                if attr is not None:
+                    return (module, attr), f"{module}.{attr}"
+                return None, name
+            if name in self.mod.functions or f"{name}.__init__" in self.mod.functions:
+                return (self.mod.module, name), f"{self.mod.module}.{name}"
+            return None, name
+        if isinstance(func, ast.Attribute):
+            spelled = dotted_name(func) or func.attr
+            if isinstance(func.value, ast.Name):
+                base = func.value.id
+                if base == "self" and self.cls:
+                    return ((self.mod.module, f"{self.cls}.{func.attr}"),
+                            f"{self.mod.module}.{self.cls}.{func.attr}")
+                if base in self.mod.imports:
+                    module, attr = self.mod.imports[base]
+                    if attr is None:
+                        return (module, func.attr), f"{module}.{func.attr}"
+                    # from x import Klass; Klass.method(...)
+                    return ((module, f"{attr}.{func.attr}"),
+                            f"{module}.{attr}.{func.attr}")
+            return None, spelled
+        return None, "<call>"
+
+    # -- blocking classification ----------------------------------------
+    def blocking_reason(self, call: ast.Call, held: tuple[str, ...]) -> str | None:
+        func = call.func
+        dotted = dotted_name(func)
+        if dotted:
+            for suffix, reason in _BLOCKING_EXACT.items():
+                if dotted == suffix or dotted.endswith("." + suffix):
+                    return reason
+            for prefix, reason in _BLOCKING_PREFIXES.items():
+                if dotted.startswith(prefix) or f".{prefix}" in dotted + ".":
+                    return reason
+        if isinstance(func, ast.Name):
+            if func.id in _BLOCKING_BARE:
+                return _BLOCKING_BARE[func.id]
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        attr = func.attr
+        receiver = func.value
+        segment = receiver.attr if isinstance(receiver, ast.Attribute) else (
+            receiver.id if isinstance(receiver, ast.Name) else "")
+        if attr in ("wait", "wait_for"):
+            # ``cond.wait()`` with the condition's own lock held is the
+            # condition-variable idiom (wait releases it) — never flag.
+            receiver_lock = self.resolve_lock(receiver)
+            if receiver_lock is not None and receiver_lock in held:
+                return None
+        if attr in _BLOCKING_ATTRS:
+            return _BLOCKING_ATTRS[attr]
+        gated = _RECEIVER_GATED.get(attr)
+        if gated is not None:
+            substrings, reason = gated
+            lowered = segment.lower()
+            if any(sub in lowered for sub in substrings):
+                return reason
+        return None
+
+    # -- statement walking ----------------------------------------------
+    def walk(self, body: list[ast.stmt]) -> None:
+        self._body(body, ())
+
+    def _body(self, stmts, held: tuple[str, ...]) -> tuple[str, ...]:
+        for stmt in stmts:
+            held = self._stmt(stmt, held)
+        return held
+
+    def _stmt(self, stmt: ast.stmt, held: tuple[str, ...]) -> tuple[str, ...]:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return held  # collected separately; runs in another context
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner = held
+            for item in stmt.items:
+                # The with-item expression runs BEFORE the lock is held.
+                self._expr(item.context_expr, inner)
+                lock_id = self.resolve_lock(item.context_expr)
+                if lock_id is not None:
+                    self.facts.acquires.append(AcquireEvent(
+                        lock_id, item.context_expr.lineno,
+                        item.context_expr.col_offset, inner))
+                    inner = inner + (lock_id,)
+            self._body(stmt.body, inner)
+            return held
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+            call = stmt.value
+            if isinstance(call.func, ast.Attribute):
+                if call.func.attr == "acquire":
+                    lock_id = self.resolve_lock(call.func.value)
+                    if lock_id is not None:
+                        for arg in call.args:
+                            self._expr(arg, held)
+                        self.facts.acquires.append(AcquireEvent(
+                            lock_id, call.lineno, call.col_offset, held))
+                        return held + (lock_id,)
+                if call.func.attr == "release":
+                    lock_id = self.resolve_lock(call.func.value)
+                    if lock_id is not None and lock_id in held:
+                        index = len(held) - 1 - held[::-1].index(lock_id)
+                        return held[:index] + held[index + 1:]
+            self._expr(call, held)
+            return held
+        if isinstance(stmt, ast.Try):
+            for handler in stmt.handlers:
+                self._body(handler.body, held)
+            self._body(stmt.orelse, held)
+            after = self._body(stmt.body, held)
+            return self._body(stmt.finalbody, after)
+        if isinstance(stmt, ast.If):
+            self._expr(stmt.test, held)
+            self._body(stmt.body, held)
+            self._body(stmt.orelse, held)
+            return held
+        if isinstance(stmt, ast.While):
+            self._expr(stmt.test, held)
+            self._body(stmt.body, held)
+            self._body(stmt.orelse, held)
+            return held
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._expr(stmt.iter, held)
+            self._body(stmt.body, held)
+            self._body(stmt.orelse, held)
+            return held
+        if isinstance(stmt, ast.Assign):
+            self._expr(stmt.value, held)
+            if len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Name):
+                target = stmt.targets[0].id
+                ctor = _lock_ctor_of(stmt.value)
+                if ctor:
+                    _kind, literal, _ok = ctor
+                    self.aliases[target] = literal or f"{self.mod.module}.{target}"
+                else:
+                    resolved = (self.resolve_lock(stmt.value)
+                                if _LOCKISH_NAME.search(target) else None)
+                    if resolved:
+                        self.aliases[target] = resolved
+            return held
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._expr(child, held)
+        return held
+
+    def _expr(self, expr: ast.AST, held: tuple[str, ...]) -> None:
+        stack = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Lambda):
+                continue  # runs later, in an unknown lock context
+            if isinstance(node, ast.Call):
+                self._call(node, held)
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _call(self, call: ast.Call, held: tuple[str, ...]) -> None:
+        target, display = self.resolve_call(call.func)
+        self.facts.calls.append(CallEvent(
+            target, display, call.lineno, call.col_offset, held))
+        reason = self.blocking_reason(call, held)
+        if reason is not None:
+            self.facts.blocks.append(BlockEvent(
+                reason, call.lineno, call.col_offset, held))
+
+
+def _nested_defs(node) -> list:
+    """Immediate nested defs of ``node``, not crossing def boundaries."""
+    found = []
+    stack = [child for stmt in node.body for child in [stmt]]
+    while stack:
+        sub = stack.pop()
+        if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            found.append(sub)
+            continue
+        if isinstance(sub, (ast.Lambda, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(sub))
+    return found
+
+
+class _FunctionCollector(ast.NodeVisitor):
+    """Run a :class:`_FunctionWalker` over every def in the module."""
+
+    def __init__(self, tree: TreeFacts, mod: ModuleFacts):
+        self.tree = tree
+        self.mod = mod
+        self._class: str | None = None
+        self._prefix: list[str] = []
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        outer, self._class = self._class, node.name
+        self.generic_visit(node)
+        self._class = outer
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._function(node)
+
+    def _function(self, node) -> None:
+        parts = self._prefix + ([self._class] if self._class else []) + [node.name]
+        qualname = ".".join(parts)
+        walker = _FunctionWalker(self.tree, self.mod, qualname, self._class)
+        walker.walk(node.body)
+        self.mod.functions[qualname] = walker.facts
+        # Nested defs run with their own (empty) held set but still get
+        # their blocking/acquire facts collected.
+        outer_prefix, outer_class = self._prefix, self._class
+        self._prefix, self._class = parts, None
+        for sub in _nested_defs(node):
+            self._function(sub)
+        self._prefix, self._class = outer_prefix, outer_class
+
+    def generic_visit(self, node):
+        # Only descend into module/class bodies looking for defs; the
+        # walker handles function interiors itself.
+        if isinstance(node, (ast.Module, ast.ClassDef)):
+            super().generic_visit(node)
+
+
+def collect_module(source: str, path: str, module: str,
+                   tree_facts: TreeFacts) -> ModuleFacts:
+    """Phase-A declarations for one module (call before phase B)."""
+    mod = ModuleFacts(module=module, path=path)
+    parsed = ast.parse(source, filename=path)
+    _DeclCollector(mod).visit(parsed)
+    mod._parsed = parsed  # cached for phase B
+    return mod
+
+
+def walk_module(mod: ModuleFacts, tree_facts: TreeFacts) -> None:
+    """Phase-B function walking, once every module's declarations exist."""
+    _FunctionCollector(tree_facts, mod).visit(mod._parsed)

@@ -12,6 +12,7 @@ from .dtype import Float64Rule
 from .exceptions import BareExceptRule
 from .jit import JitTensorRule
 from .mutation import InPlaceMutationRule
+from .policy import ThreadLocalPolicyRule
 from .rng import GlobalRandomRule
 from .state import UnlockedStateRule
 
@@ -26,4 +27,5 @@ ALL_RULES: tuple[Rule, ...] = (
     DetachRule(),
     Float64Rule(),
     JitTensorRule(),
+    ThreadLocalPolicyRule(),
 )

@@ -29,6 +29,9 @@ _CONTAINER_CALLS = frozenset({
 _LOCK_CALLS = frozenset({
     "threading.Lock", "threading.RLock", "threading.local",
     "Lock", "RLock", "local",
+    # The lockcheck-aware factory (repro.analysis.lockcheck) declares
+    # the discipline just as loudly as a raw threading primitive.
+    "named_lock", "lockcheck.named_lock",
 })
 
 

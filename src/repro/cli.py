@@ -18,11 +18,14 @@ Commands
         python -m repro serve --registry ./model-registry --port 8080
         python -m repro serve --demo          # fit + publish + serve a demo model
 ``analyze``
-    Static analysis (see docs/analysis.md): the repo-invariant linter
-    and/or the model shape/dtype/grad-flow checker, e.g.::
+    Static analysis (see docs/analysis.md): the repo-invariant linter,
+    the interprocedural concurrency pass (lock-order cycles, blocking
+    calls under locks, thread-local policy discipline), and/or the model
+    shape/dtype/grad-flow checker, e.g.::
 
-        python -m repro analyze --all         # lint + shapecheck, exit 1 on findings
+        python -m repro analyze --all         # every layer, exit 1 on findings
         python -m repro analyze lint --json
+        python -m repro analyze concurrency
         python -m repro analyze shapecheck
 """
 
@@ -117,9 +120,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fit a small TFMAE on synthetic data, publish it "
                             "as 'demo', then serve (no registry required)")
 
-    analyze = sub.add_parser("analyze", help="repo linter and model shape checker")
-    analyze.add_argument("what", nargs="?", choices=["lint", "shapecheck"],
-                         help="run one layer only (default: both)")
+    analyze = sub.add_parser(
+        "analyze", help="repo linter, concurrency analyzer, model shape checker")
+    analyze.add_argument("what", nargs="?",
+                         choices=["lint", "concurrency", "shapecheck"],
+                         help="run one layer only (default: all of them)")
     analyze.add_argument("--all", action="store_true", dest="run_all",
                          help="run every analysis layer (the default when no "
                               "positional is given)")
@@ -155,6 +160,17 @@ def _build_detector(args: argparse.Namespace):
                 anomaly_ratio=ratio, seed=args.seed)
 
 
+def _validate_serve_args(args: argparse.Namespace) -> None:
+    """Reject nonsensical worker/quota counts before any socket binds."""
+    if args.procs < 0:
+        raise SystemExit(f"--procs must be >= 0, got {args.procs}")
+    for flag, value in (("--threads", args.threads), ("--workers", args.workers)):
+        if value is not None and value < 1:
+            raise SystemExit(f"{flag} must be >= 1, got {value}")
+    if args.max_inflight < 1:
+        raise SystemExit(f"--max-inflight must be >= 1, got {args.max_inflight}")
+
+
 def _resolve_serve_threads(args: argparse.Namespace) -> int:
     """Thread-worker count from --threads, honouring the --workers alias."""
     if args.workers is not None:
@@ -175,6 +191,7 @@ def _build_server(args: argparse.Namespace):
     """Construct (but do not start) the inference server for ``serve``."""
     from .serve import InferenceServer, ModelRegistry
 
+    _validate_serve_args(args)
     registry = ModelRegistry(
         args.registry,
         load_retries=args.load_retries,
@@ -215,22 +232,41 @@ def _run_analyze(args: argparse.Namespace) -> int:
 
     from .analysis import (
         ShapeCheckError,
+        analyze_concurrency,
         format_json,
         format_text,
         lint_paths,
         preflight_model,
+        stale_suppressions,
     )
 
     run_lint = args.run_all or args.what in (None, "lint")
+    run_concurrency = args.run_all or args.what in (None, "concurrency")
     run_shapecheck = args.run_all or args.what in (None, "shapecheck")
     exit_code = 0
 
-    if run_lint:
+    if run_lint or run_concurrency:
         paths = args.path if args.path else [str(Path(__file__).parent)]
-        violations = lint_paths(paths)
+        violations = []
+        if run_lint:
+            violations.extend(lint_paths(paths))
+        if run_concurrency:
+            violations.extend(analyze_concurrency(paths))
+        violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
         print(format_json(violations) if args.json else format_text(violations))
         if violations:
             exit_code = 1
+        if run_lint:
+            # Stale ``# repro: noqa[...]`` markers: warnings only — a
+            # suppression that no longer suppresses anything would
+            # silently swallow a future regression.  Concurrency raw
+            # findings feed in so cross-file suppressions stay honest.
+            raw = analyze_concurrency(paths, respect_noqa=False)
+            stream = sys.stderr if args.json else sys.stdout
+            for path, line, code in stale_suppressions(paths, extra_raw=raw):
+                print(f"warning: {path}:{line}: stale suppression "
+                      f"noqa[{code}] — the rule no longer fires here",
+                      file=stream)
 
     if run_shapecheck:
         from .core.model import TFMAEModel

@@ -25,9 +25,10 @@ run them at simulated time.
 
 from __future__ import annotations
 
-import threading
 import time
 from typing import Callable, Iterator
+
+from ..analysis.lockcheck import named_lock
 
 __all__ = ["CircuitBreaker", "RetryPolicy"]
 
@@ -48,7 +49,7 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.reset_timeout = reset_timeout
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = named_lock("serve.breaker")
         self._failures = 0
         self._opened_at: float | None = None
         self._probe_in_flight = False

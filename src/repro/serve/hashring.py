@@ -29,8 +29,9 @@ from __future__ import annotations
 
 import bisect
 import hashlib
-import threading
 from typing import Iterable
+
+from ..analysis.lockcheck import named_lock
 
 __all__ = ["HashRing"]
 
@@ -53,7 +54,7 @@ class HashRing:
         if replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {replicas}")
         self.replicas = replicas
-        self._lock = threading.Lock()
+        self._lock = named_lock("serve.hashring")
         self._points: list[int] = []        # sorted virtual-point hashes
         self._owners: dict[int, str] = {}   # point hash -> node name
         self._nodes: set[str] = set()

@@ -64,6 +64,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..analysis.lockcheck import named_lock
 from ..detector import BaseDetector
 from .breaker import CircuitBreaker
 from .errors import (
@@ -111,6 +112,19 @@ def _rebuild_error(kind: str, message: str) -> Exception:
         if kind == known:
             return exc_type(message)
     return RuntimeError(message)
+
+
+def _spawn_guard(context: str) -> None:
+    """Record a lockcheck violation if this thread holds locks right now.
+
+    A lock held across process creation is inherited in an arbitrary
+    state by the child under fork-like start methods — a classic child
+    deadlock.  No-op unless the runtime lockcheck is installed.
+    """
+    from ..analysis import lockcheck
+
+    if lockcheck.installed():
+        lockcheck.check_spawn(context)
 
 
 def _read_proc_rss() -> dict[str, int]:
@@ -264,7 +278,9 @@ class _WorkerHandle:
         self.process = process
         self.conn = conn
         #: Serialises sends so a load+score pair is never interleaved.
-        self.send_lock = threading.Lock()
+        #: blocking_ok: this leaf lock EXISTS to serialise the (blocking)
+        #: pipe write; nothing else is ever acquired under it.
+        self.send_lock = named_lock("serve.pool.send", blocking_ok=True)
         #: Keys optimistically resident (FIFO: load precedes first score).
         self.loaded: set[str] = set()
         self.last_seen = time.monotonic()
@@ -329,7 +345,11 @@ class ProcessPool:
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._ctx = mp.get_context("spawn")
         self._ring = HashRing(replicas=ring_replicas)
-        self._lock = threading.RLock()
+        # Guards parent-side bookkeeping only (workers/inflight/specs
+        # maps); all blocking work — spawn, pipe sends, shared-memory
+        # publish — happens outside it.  Order: never taken while
+        # holding send_lock or the ring lock.
+        self._lock = named_lock("serve.pool", kind="rlock")
         self._workers: dict[str, _WorkerHandle] = {}
         self._breakers: dict[str, CircuitBreaker] = {
             self._slot_name(i): CircuitBreaker(
@@ -365,8 +385,11 @@ class ProcessPool:
             if self._started:
                 return self
             self._started = True
-            for index in range(self.procs):
-                self._spawn(self._slot_name(index))
+        # Spawning happens outside the pool lock: Process.start() is
+        # blocking, and a lock held across spawn is inherited mid-state
+        # by fork-like start methods (lockcheck.check_spawn guards this).
+        for index in range(self.procs):
+            self._spawn(self._slot_name(index))
         self._supervisor = threading.Thread(
             target=self._supervise, name="repro-pool-supervisor", daemon=True
         )
@@ -429,7 +452,12 @@ class ProcessPool:
     # spawning / supervision
     # ------------------------------------------------------------------
     def _spawn(self, slot: str) -> None:
-        """Start one worker for ``slot`` and route its shard to it."""
+        """Start one worker for ``slot`` and route its shard to it.
+
+        Called with NO pool lock held — the spawn itself blocks, and the
+        runtime lockcheck records any lock held across it as a hazard.
+        """
+        _spawn_guard(f"ProcessPool._spawn({slot})")
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         process = self._ctx.Process(
             target=_worker_main, args=(slot, child_conn, self.jit),
@@ -442,7 +470,20 @@ class ProcessPool:
             target=self._receive, args=(handle,),
             name=f"repro-pool-recv-{slot}", daemon=True,
         )
-        self._workers[slot] = handle
+        with self._lock:
+            aborted = self._closed
+            if not aborted:
+                self._workers[slot] = handle
+        if aborted:
+            # stop() won the race while we were spawning: tear down the
+            # orphan worker instead of registering it.
+            try:
+                parent_conn.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+            process.terminate()
+            process.join(timeout=1.0)
+            return
         handle.receiver.start()
         self._ring.add_node(slot)
         self.metrics.gauge("serve_pool_workers_alive").set(self._alive_count())
@@ -513,11 +554,17 @@ class ProcessPool:
                 if self._closed:
                     return
                 dead = [h.slot for h in self._workers.values() if h.state == "dead"]
-                for slot in dead:
-                    if self._breakers[slot].allow():
-                        self._respawns[slot] += 1
-                        self.metrics.counter("serve_pool_respawns_total").inc()
-                        self._spawn(slot)
+                respawn = [slot for slot in dead if self._breakers[slot].allow()]
+                for slot in respawn:
+                    self._respawns[slot] += 1
+            # Spawn outside the pool lock (see _spawn); routing keeps
+            # shedding to the remaining workers meanwhile.
+            for slot in respawn:
+                self.metrics.counter("serve_pool_respawns_total").inc()
+                self._spawn(slot)
+            with self._lock:
+                if self._closed:
+                    return
                 live = [h for h in self._workers.values() if h.state == "live"]
             token += 1
             for handle in live:
@@ -564,15 +611,27 @@ class ProcessPool:
                     "no scoring workers alive; supervisor is respawning — retry"
                 ) from None
             handle = self._workers[slot]
-            # Resolved before send_lock: _spec_for takes the pool lock, and
-            # send_lock must never wait on it (worker_rss holds them in the
-            # opposite order).
+            # Reserve the quota slot before dropping the lock so a burst
+            # of concurrent submits cannot overshoot while publishing.
+            self._inflight_by_model[name] += 1
+        # First routing of a key publishes its weights into shared
+        # memory — megabytes of memcpy plus a SharedMemory create, so it
+        # must not run under the pool lock (it would convoy every
+        # concurrent submit and worker_rss/status call behind disk-speed
+        # work).
+        try:
             spec = self._spec_for(key, detector)
+        except BaseException:
+            with self._lock:
+                self._inflight_by_model[name] -= 1
+                if self._inflight_by_model[name] <= 0:
+                    del self._inflight_by_model[name]
+            raise
+        with self._lock:
             self._next_id += 1
             req_id = self._next_id
             entry = _Inflight(name, slot)
             self._inflight[req_id] = entry
-            self._inflight_by_model[name] += 1
             self.metrics.gauge("serve_pool_inflight").set(len(self._inflight))
         try:
             with handle.send_lock:
@@ -594,33 +653,48 @@ class ProcessPool:
         return self.submit(name, version, detector, window).result(timeout=timeout)
 
     def _spec_for(self, key: str, detector: BaseDetector) -> dict:
-        """The (cached) load spec for ``key``: publish weights once."""
+        """The (cached) load spec for ``key``: publish weights once.
+
+        The weight export + shared-memory publish runs outside the pool
+        lock; two concurrent first-routings of one key may both publish,
+        and the loser's segment is discarded (rare, bounded, harmless —
+        as opposed to serialising every submit behind the copy).
+        """
         with self._lock:
             spec = self._specs.get(key)
-            if spec is not None:
-                return spec
-            codec = _lookup_codec(type(detector).__name__)
-            if codec is None:
-                raise RegistryError(
-                    f"no codec registered for detector type "
-                    f"{type(detector).__name__!r}; the pool cannot ship it "
-                    "to workers"
-                )
-            module, hyperparams = codec.export(detector)
-            segment = WeightSegment.publish(module)
-            spec = {
-                "detector": type(detector).__name__,
-                "hyperparams": hyperparams,
-                "segment": segment.name,
-                "manifest": segment.manifest,
-            }
-            self._segments[key] = segment
-            self._specs[key] = spec
-            self.metrics.gauge("serve_pool_shared_segments").set(len(self._segments))
-            self.metrics.gauge("serve_pool_shared_bytes").set(
-                sum(seg.nbytes for seg in self._segments.values())
-            )
+        if spec is not None:
             return spec
+        codec = _lookup_codec(type(detector).__name__)
+        if codec is None:
+            raise RegistryError(
+                f"no codec registered for detector type "
+                f"{type(detector).__name__!r}; the pool cannot ship it "
+                "to workers"
+            )
+        module, hyperparams = codec.export(detector)
+        segment = WeightSegment.publish(module)
+        spec = {
+            "detector": type(detector).__name__,
+            "hyperparams": hyperparams,
+            "segment": segment.name,
+            "manifest": segment.manifest,
+        }
+        stale = None
+        with self._lock:
+            existing = self._specs.get(key)
+            if existing is not None:
+                stale, spec = segment, existing
+            else:
+                self._segments[key] = segment
+                self._specs[key] = spec
+                self.metrics.gauge("serve_pool_shared_segments").set(
+                    len(self._segments))
+                self.metrics.gauge("serve_pool_shared_bytes").set(
+                    sum(seg.nbytes for seg in self._segments.values())
+                )
+        if stale is not None:
+            stale.close()
+        return spec
 
     def _resolve(self, req_id: int, result: float | None = None,
                  error: BaseException | None = None) -> None:
@@ -691,20 +765,27 @@ class ProcessPool:
         """
         pending: list[tuple[str, Future]] = []
         with self._lock:
-            for handle in self._workers.values():
-                if handle.state != "live":
-                    continue
+            handles = [h for h in self._workers.values() if h.state == "live"]
+        # Sends run with only the per-worker send_lock held — never the
+        # pool lock, which submit() takes before its own sends; nesting
+        # them here in the opposite order was a lock-order inversion.
+        for handle in handles:
+            with self._lock:
                 self._next_id += 1
-                future: Future = Future()
-                self._control[self._next_id] = future
                 req_id = self._next_id
+                future: Future = Future()
+                self._control[req_id] = future
+            delivered = True
+            with handle.send_lock:
+                try:
+                    handle.conn.send(("rss", req_id))
+                except (BrokenPipeError, OSError):
+                    delivered = False
+            if delivered:
                 pending.append((handle.slot, future))
-                with handle.send_lock:
-                    try:
-                        handle.conn.send(("rss", req_id))
-                    except (BrokenPipeError, OSError):
-                        self._control.pop(req_id, None)
-                        pending.pop()
+            else:
+                with self._lock:
+                    self._control.pop(req_id, None)
         report: dict[str, dict[str, int]] = {}
         deadline = time.monotonic() + timeout
         for slot, future in pending:

@@ -62,6 +62,7 @@ from dataclasses import asdict
 from pathlib import Path
 from typing import Callable, NamedTuple
 
+from ..analysis.lockcheck import named_lock
 from ..detector import BaseDetector
 from ..nn.module import Module
 from ..nn.serialization import (
@@ -106,7 +107,7 @@ class DetectorCodec(NamedTuple):
 _CODECS: dict[str, DetectorCodec] = {}
 #: Guards _CODECS: registration normally happens at import time, but a
 #: serving process may register a codec while worker threads resolve types.
-_CODECS_LOCK = threading.Lock()
+_CODECS_LOCK = named_lock("serve.registry.codecs")
 
 
 def register_codec(detector_type: str, codec: DetectorCodec) -> None:
@@ -236,9 +237,16 @@ class ModelRegistry:
         self.root = Path(root)
         self._cache_size = cache_size
         self._cache: OrderedDict[tuple[str, str], BaseDetector] = OrderedDict()
-        self._lock = threading.Lock()
-        #: Serialises disk loads per model so a slow/faulty artifact read
-        #: of one model never blocks loads (or cache hits) of another.
+        #: Memory-only state lock: cache, name-lock table, breakers,
+        #: last-good entries.  Never held across disk I/O — every
+        #: filesystem touch (artifact read/write, live pointer, version
+        #: glob) happens under the per-model lock instead.  Lock order:
+        #: per-model lock -> state lock, never the reverse.
+        self._lock = named_lock("serve.registry.state")
+        #: Per-model locks serialising that model's disk traffic so a
+        #: slow/faulty artifact read of one model never blocks loads (or
+        #: cache hits) of another.  ``blocking_ok``: serialising blocking
+        #: I/O is this lock's entire purpose.
         self._name_locks: dict[str, threading.Lock] = {}
         self._breaker_threshold = breaker_threshold
         self._breaker_reset = breaker_reset
@@ -284,9 +292,9 @@ class ModelRegistry:
         module, hyperparams = codec.export(detector)
         _preflight_module(module)
 
-        with self._lock:
+        with self._name_lock(name):
             if version is None:
-                version = f"v{len(self._versions_unlocked(name)) + 1}"
+                version = f"v{len(self._versions_on_disk(name)) + 1}"
             _validate_component(version, "version")
             path = self._artifact_path(name, version)
             if path.exists():
@@ -316,11 +324,11 @@ class ModelRegistry:
         """
         _validate_component(name, "model name")
         _validate_component(version, "version")
-        with self._lock:
-            versions = self._versions_unlocked(name)
+        with self._name_lock(name):
+            versions = self._versions_on_disk(name)
             if version not in versions:
                 raise ModelNotFound(f"model {name}:{version} not found in {self.root}")
-            pointer = self._read_live_unlocked(name)
+            pointer = self._read_live_pointer(name)
             if pointer is not None:
                 prior = pointer["version"]
             else:
@@ -328,7 +336,7 @@ class ModelRegistry:
                 prior = remaining[-1] if remaining else None
             if prior == version:
                 prior = pointer.get("prior") if pointer else None
-            self._write_live_unlocked(name, {"version": version, "prior": prior})
+            self._write_live_pointer(name, {"version": version, "prior": prior})
         return prior
 
     def demote_live(self, name: str) -> str:
@@ -339,19 +347,19 @@ class ModelRegistry:
         Returns the version now live.
         """
         _validate_component(name, "model name")
-        with self._lock:
-            pointer = self._read_live_unlocked(name)
+        with self._name_lock(name):
+            pointer = self._read_live_pointer(name)
             if pointer is None or not pointer.get("prior"):
                 raise RegistryError(
                     f"model {name!r} has no recorded prior version to roll back to"
                 )
             prior = pointer["prior"]
-            if prior not in self._versions_unlocked(name):
+            if prior not in self._versions_on_disk(name):
                 raise RegistryError(
                     f"model {name!r} prior version {prior!r} is no longer in the "
                     "registry; cannot roll back"
                 )
-            self._write_live_unlocked(
+            self._write_live_pointer(
                 name, {"version": prior, "prior": None, "demoted": pointer["version"]}
             )
         return prior
@@ -359,16 +367,17 @@ class ModelRegistry:
     def live_version(self, name: str) -> str:
         """The version ``load(name)`` resolves to: live pointer or latest."""
         _validate_component(name, "model name")
-        with self._lock:
-            versions = self._versions_unlocked(name)
+        with self._name_lock(name):
+            versions = self._versions_on_disk(name)
             if not versions:
                 raise ModelNotFound(f"no versions of model {name!r} in {self.root}")
-            pointer = self._read_live_unlocked(name)
+            pointer = self._read_live_pointer(name)
             if pointer is not None and pointer["version"] in versions:
                 return pointer["version"]
             return versions[-1]
 
-    def _read_live_unlocked(self, name: str) -> dict | None:
+    def _read_live_pointer(self, name: str) -> dict | None:
+        """Parse the live pointer; call with the model's name lock held."""
         path = self.root / name / _LIVE_FILE
         try:
             pointer = json.loads(path.read_text())
@@ -382,7 +391,8 @@ class ModelRegistry:
             return None
         return pointer
 
-    def _write_live_unlocked(self, name: str, pointer: dict) -> None:
+    def _write_live_pointer(self, name: str, pointer: dict) -> None:
+        """Atomically replace the pointer; call with the name lock held."""
         directory = self.root / name
         directory.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(dir=directory, suffix=".live.tmp")
@@ -471,12 +481,12 @@ class ModelRegistry:
 
     def _candidate_versions(self, name: str, version: str | None) -> list[str]:
         """The requested/live version first, then older fallbacks."""
-        with self._lock:
-            versions = self._versions_unlocked(name)
+        with self._name_lock(name):
+            versions = self._versions_on_disk(name)
             if not versions:
                 raise ModelNotFound(f"no versions of model {name!r} in {self.root}")
             if version is None:
-                pointer = self._read_live_unlocked(name)
+                pointer = self._read_live_pointer(name)
                 if pointer is not None and pointer["version"] in versions:
                     version = pointer["version"]
                 else:
@@ -555,7 +565,11 @@ class ModelRegistry:
     # quarantine
     # ------------------------------------------------------------------
     def _quarantine(self, name: str, version: str, error: RegistryError) -> None:
-        """Move a corrupt artifact aside and heal the live pointer."""
+        """Move a corrupt artifact aside and heal the live pointer.
+
+        Called with the model's name lock held (the disk side); the state
+        lock is taken only for the in-memory evictions.
+        """
         source = self._artifact_path(name, version)
         quarantine = self.root / _QUARANTINE_DIR
         quarantine.mkdir(parents=True, exist_ok=True)
@@ -575,22 +589,22 @@ class ModelRegistry:
             entry = self._last_good.get(name)
             if entry is not None and entry[1] == version:
                 del self._last_good[name]
-            pointer = self._read_live_unlocked(name)
-            if pointer is not None and pointer["version"] == version:
-                remaining = self._versions_unlocked(name)
-                fallback = pointer.get("prior")
-                if fallback not in remaining:
-                    fallback = remaining[-1] if remaining else None
-                if fallback is not None:
-                    self._write_live_unlocked(
-                        name,
-                        {"version": fallback, "prior": None, "quarantined": version},
-                    )
-                else:
-                    try:
-                        (self.root / name / _LIVE_FILE).unlink()
-                    except OSError:
-                        pass
+        pointer = self._read_live_pointer(name)
+        if pointer is not None and pointer["version"] == version:
+            remaining = self._versions_on_disk(name)
+            fallback = pointer.get("prior")
+            if fallback not in remaining:
+                fallback = remaining[-1] if remaining else None
+            if fallback is not None:
+                self._write_live_pointer(
+                    name,
+                    {"version": fallback, "prior": None, "quarantined": version},
+                )
+            else:
+                try:
+                    (self.root / name / _LIVE_FILE).unlink()
+                except OSError:
+                    pass
 
     def quarantined(self, name: str | None = None) -> list[str]:
         """Quarantined artifact file names (optionally for one model)."""
@@ -621,9 +635,10 @@ class ModelRegistry:
     def status(self, name: str) -> dict:
         """Serving-health view of one model (consumed by ``/healthz``)."""
         _validate_component(name, "model name")
+        with self._name_lock(name):
+            versions = self._versions_on_disk(name)
+            pointer = self._read_live_pointer(name)
         with self._lock:
-            versions = self._versions_unlocked(name)
-            pointer = self._read_live_unlocked(name)
             breaker = self._breakers.get(name)
             entry = self._last_good.get(name)
         live = None
@@ -667,7 +682,7 @@ class ModelRegistry:
         with self._lock:
             lock = self._name_locks.get(name)
             if lock is None:
-                lock = threading.Lock()
+                lock = named_lock("serve.registry.per-model", blocking_ok=True)
                 self._name_locks[name] = lock
             return lock
 
@@ -692,8 +707,8 @@ class ModelRegistry:
 
     def versions(self, name: str) -> list[str]:
         """Versions of a model, oldest first (numeric-aware for ``v<n>``)."""
-        with self._lock:
-            return self._versions_unlocked(name)
+        with self._name_lock(name):
+            return self._versions_on_disk(name)
 
     def latest(self, name: str) -> str:
         versions = self.versions(name)
@@ -720,7 +735,8 @@ class ModelRegistry:
     def _artifact_path(self, name: str, version: str) -> Path:
         return self.root / name / f"{version}.npz"
 
-    def _versions_unlocked(self, name: str) -> list[str]:
+    def _versions_on_disk(self, name: str) -> list[str]:
+        """Glob the version listing; call with the name lock held."""
         directory = self.root / name
         if not directory.is_dir():
             return []

@@ -44,6 +44,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..analysis.lockcheck import named_lock
 from ..detector import BaseDetector
 from ..nn import jit as nn_jit
 from .errors import Overloaded, ServeError
@@ -128,7 +129,7 @@ class MicroBatcher:
                              daemon=True)
             for i in range(workers)
         ]
-        self._state_lock = threading.Lock()
+        self._state_lock = named_lock("serve.scheduler.state")
         self._started = False
         self._closed = False
 
@@ -163,7 +164,12 @@ class MicroBatcher:
             # full queue is fine: workers keep draining it without the
             # lock, so these puts always make progress.
             for _ in self._workers:
-                self._queue.put(_STOP)
+                # The sentinel MUST be enqueued while holding the same
+                # lock submit() uses, or a racing submit slips a request
+                # behind it that no worker will ever drain.  The put
+                # cannot stall: workers consume without the lock, so the
+                # queue always makes room.
+                self._queue.put(_STOP)  # repro: noqa[BLK001]
         if started:
             for worker in self._workers:
                 worker.join(timeout=timeout)

@@ -45,6 +45,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
+from ..analysis.lockcheck import named_lock
 from .errors import (
     CircuitOpen,
     ModelNotFound,
@@ -291,7 +292,7 @@ class InferenceServer:
         #: before the scoring tier goes away, so accepted requests
         #: always complete (graceful shutdown).
         self._inflight_http = 0
-        self._inflight_cond = threading.Condition()
+        self._inflight_cond = named_lock("serve.http.inflight", kind="condition")
 
     # ------------------------------------------------------------------
     # request handling (called from handler threads)

@@ -26,16 +26,17 @@ stays the segment's only registered owner.
 
 from __future__ import annotations
 
-import threading
 from multiprocessing import shared_memory
 
+from ..analysis.lockcheck import named_lock
 from ..nn.module import Module
 from ..nn.serialization import pack_state_into, state_layout, unpack_state
 
 __all__ = ["WeightSegment", "attach_segment"]
 
 #: Serialises the brief resource-tracker patch inside attach_segment.
-_ATTACH_LOCK = threading.Lock()
+#: ``blocking_ok``: the attach syscall is the critical section.
+_ATTACH_LOCK = named_lock("serve.shm.attach", blocking_ok=True)
 
 
 class WeightSegment:

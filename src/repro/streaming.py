@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .analysis.lockcheck import named_lock
 from .datasets.windows import sliding_windows
 from .detector import BaseDetector
 from .robustness.faults import FaultPolicy, sanitize_observation
@@ -109,7 +110,7 @@ class StreamingDetector:
         self._updates_since_degraded = 0
         # Reentrant: update_many's fault-handling path recurses into
         # update() while already holding the lock.
-        self._swap_lock = threading.RLock()
+        self._swap_lock = named_lock("streaming.swap", kind="rlock")
 
     @property
     def observations_seen(self) -> int:

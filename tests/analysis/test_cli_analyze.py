@@ -1,0 +1,166 @@
+"""``python -m repro analyze`` contract: exit codes, JSON schema, warnings.
+
+The CI lint gate shells out to this command, so its exit codes and its
+``--json`` schema (a bare list of violation objects) are load-bearing.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+from repro.cli import main
+
+
+def _write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+_INVERTED = """
+    import threading
+
+    A = threading.Lock()
+    B = threading.Lock()
+
+    def forward():
+        with A:
+            with B:
+                pass
+
+    def backward():
+        with B:
+            with A:
+                pass
+"""
+
+
+class TestConcurrencyCommand:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        _write(tmp_path, "ok.py", """
+            import threading
+
+            L = threading.Lock()
+
+            def fine():
+                with L:
+                    return 1
+        """)
+        assert main(["analyze", "concurrency", "--path", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_seeded_violation_exits_nonzero(self, tmp_path, capsys):
+        _write(tmp_path, "bad.py", _INVERTED)
+        assert main(["analyze", "concurrency", "--path", str(tmp_path)]) == 1
+        assert "LOCK002" in capsys.readouterr().out
+
+    def test_json_schema_is_a_list_of_violation_objects(self, tmp_path, capsys):
+        _write(tmp_path, "bad.py", _INVERTED)
+        assert main(["analyze", "concurrency", "--json",
+                     "--path", str(tmp_path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and payload
+        for entry in payload:
+            assert set(entry) == {"rule", "path", "line", "col", "message"}
+            assert entry["rule"] == "LOCK002"
+
+    def test_shipped_tree_is_clean(self, capsys):
+        assert main(["analyze", "concurrency"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+
+class TestAllSweep:
+    def test_all_includes_concurrency_findings(self, tmp_path, capsys):
+        _write(tmp_path, "bad.py", _INVERTED)
+        assert main(["analyze", "--all", "--path", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "LOCK002" in out
+        assert "shapecheck default" in out  # the sweep still ran shapecheck
+
+    def test_all_merges_lint_and_concurrency_sorted(self, tmp_path, capsys):
+        _write(tmp_path, "bad.py", """
+            import threading
+            import time
+
+            import numpy as np
+
+            L = threading.Lock()
+
+            def noisy():
+                x = np.random.normal()
+                with L:
+                    time.sleep(0.5)
+                return x
+        """)
+        assert main(["analyze", "--all", "--path", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "RNG001" in out and "BLK001" in out
+        # one merged, location-sorted report: RNG001 (line 9) first
+        assert out.index("RNG001") < out.index("BLK001")
+
+
+class TestStaleSuppressions:
+    def test_stale_noqa_warns_without_failing(self, tmp_path, capsys):
+        _write(tmp_path, "stale.py", """
+            def fine():
+                return 1  # repro: noqa[RNG001]
+        """)
+        assert main(["analyze", "lint", "--path", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "stale suppression" in out
+        assert "noqa[RNG001]" in out
+
+    def test_live_noqa_does_not_warn(self, tmp_path, capsys):
+        _write(tmp_path, "live.py", """
+            import numpy as np
+
+            def seeded_elsewhere():
+                return np.random.normal()  # repro: noqa[RNG001]
+        """)
+        assert main(["analyze", "lint", "--path", str(tmp_path)]) == 0
+        assert "stale suppression" not in capsys.readouterr().out
+
+    def test_unknown_code_warns(self, tmp_path, capsys):
+        _write(tmp_path, "typo.py", """
+            def fine():
+                return 1  # repro: noqa[NOPE999]
+        """)
+        assert main(["analyze", "lint", "--path", str(tmp_path)]) == 0
+        assert "noqa[NOPE999]" in capsys.readouterr().out
+
+    def test_concurrency_noqa_is_not_stale_when_rule_fires(self, tmp_path, capsys):
+        _write(tmp_path, "suppressed.py", """
+            import threading
+            import time
+
+            L = threading.Lock()
+
+            def justified():
+                with L:
+                    time.sleep(0.5)  # repro: noqa[BLK001]
+        """)
+        # lint alone cannot see BLK001 hits; the stale check must pull in
+        # the concurrency pass's raw findings before deciding.
+        assert main(["analyze", "lint", "--path", str(tmp_path)]) == 0
+        assert "stale suppression" not in capsys.readouterr().out
+
+    def test_json_mode_keeps_stdout_parseable(self, tmp_path, capsys):
+        _write(tmp_path, "stale.py", """
+            def fine():
+                return 1  # repro: noqa[RNG001]
+        """)
+        assert main(["analyze", "lint", "--json", "--path", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out) == []
+        assert "stale suppression" in captured.err
+
+    def test_docstring_mention_of_noqa_is_not_a_suppression(self, tmp_path, capsys):
+        _write(tmp_path, "docs.py", '''
+            """Suppress with ``# repro: noqa[RNG001]`` plus a justification."""
+
+            def fine():
+                return 1
+        ''')
+        assert main(["analyze", "lint", "--path", str(tmp_path)]) == 0
+        assert "stale suppression" not in capsys.readouterr().out

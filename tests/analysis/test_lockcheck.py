@@ -1,0 +1,171 @@
+"""Runtime lockcheck: observed edges, cycles, spawn hazards, hold times.
+
+The checker keeps one process-wide graph, and the suite may already be
+running with it armed (``REPRO_LOCKCHECK=1``); every test here snapshots
+and restores that state so intentionally-seeded hazards never leak into
+the session-teardown ``assert_clean``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis import lockcheck
+
+
+@pytest.fixture
+def armed():
+    """Lockcheck installed, with the pre-test graph saved and restored."""
+    was_installed = lockcheck.installed()
+    state = lockcheck._STATE
+    with state.lock:
+        saved_edges = dict(state.edges)
+        saved_spawn = list(state.spawn_violations)
+    lockcheck.install()
+    try:
+        yield
+    finally:
+        with state.lock:
+            state.edges.clear()
+            state.edges.update(saved_edges)
+            state.spawn_violations[:] = saved_spawn
+        if not was_installed:
+            lockcheck.uninstall()
+
+
+def test_named_lock_is_plain_primitive_when_not_installed():
+    if lockcheck.installed():
+        pytest.skip("suite runs with lockcheck armed")
+    lock = lockcheck.named_lock("test.plain")
+    assert type(lock) is type(threading.Lock())
+
+
+def test_install_patches_threading_factories(armed):
+    lock = threading.Lock()
+    assert isinstance(lock, lockcheck._TrackedLock)
+    assert lockcheck.installed()
+
+
+def test_nested_acquisition_records_an_edge(armed):
+    a = lockcheck.named_lock("test.edge.a")
+    b = lockcheck.named_lock("test.edge.b")
+    with a:
+        assert lockcheck.held_locks() == ["test.edge.a"]
+        with b:
+            assert lockcheck.held_locks() == ["test.edge.a", "test.edge.b"]
+    assert lockcheck.held_locks() == []
+    edges = lockcheck.observed_edges()
+    assert ("test.edge.a", "test.edge.b") in edges
+    example = edges[("test.edge.a", "test.edge.b")]
+    assert example["count"] >= 1
+    assert "test_lockcheck" in example["acquired_at"]
+
+
+def test_inverted_orders_become_a_cycle(armed):
+    a = lockcheck.named_lock("test.cycle.a")
+    b = lockcheck.named_lock("test.cycle.b")
+    with a:
+        with b:
+            pass
+    with b:
+        with a:
+            pass
+    cycles = lockcheck.find_cycles()
+    assert ["test.cycle.a", "test.cycle.b"] in cycles
+    with pytest.raises(lockcheck.LockOrderError, match="cycle"):
+        lockcheck.assert_clean()
+
+
+def test_rlock_reentrancy_is_not_an_edge(armed):
+    a = lockcheck.named_lock("test.rlock", kind="rlock")
+    with a:
+        with a:
+            assert lockcheck.held_locks() == ["test.rlock"]
+    assert lockcheck.held_locks() == []
+    assert ("test.rlock", "test.rlock") not in lockcheck.observed_edges()
+
+
+def test_same_name_locks_do_not_self_edge(armed):
+    first = lockcheck.named_lock("test.same")
+    second = lockcheck.named_lock("test.same")
+    with first:
+        with second:
+            pass
+    assert ("test.same", "test.same") not in lockcheck.observed_edges()
+    assert lockcheck.find_cycles() == []
+
+
+def test_condition_wait_releases_the_held_stack(armed):
+    cond = lockcheck.named_lock("test.cond", kind="condition")
+    observed = []
+
+    def waiter():
+        with cond:
+            cond.wait(timeout=5.0)
+            observed.append(lockcheck.held_locks())
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    # Let the waiter release the lock inside wait(); if the stack were
+    # stale this acquire would record a bogus self-edge.
+    with cond:
+        cond.notify_all()
+    thread.join(timeout=5.0)
+    assert not thread.is_alive()
+    assert observed == [["test.cond"]]
+    assert lockcheck.find_cycles() == []
+
+
+def test_check_spawn_records_held_locks(armed):
+    a = lockcheck.named_lock("test.spawn.guard")
+    assert lockcheck.check_spawn("unlocked") is True
+    with a:
+        assert lockcheck.check_spawn("worker-3") is False
+    violations = lockcheck.spawn_violations()
+    assert violations[-1]["context"] == "worker-3"
+    assert violations[-1]["held"] == ["test.spawn.guard"]
+    with pytest.raises(lockcheck.LockOrderError, match="spawn"):
+        lockcheck.assert_clean()
+
+
+def test_hold_time_histogram_is_recorded(armed):
+    lock = lockcheck.named_lock("test.holdtime")
+    with lock:
+        pass
+    text = lockcheck.metrics().render_text()
+    assert "lockcheck_hold_seconds" in text
+    assert "test.holdtime" in text
+
+
+def test_report_is_json_shaped(armed):
+    a = lockcheck.named_lock("test.report.a")
+    b = lockcheck.named_lock("test.report.b")
+    with a:
+        with b:
+            pass
+    report = lockcheck.report()
+    assert report["installed"] is True
+    assert "test.report.a" in report["locks"]
+    assert any(edge["from"] == "test.report.a" and edge["to"] == "test.report.b"
+               for edge in report["edges"])
+    assert isinstance(report["cycles"], list)
+    assert isinstance(report["spawn_violations"], list)
+
+
+def test_try_acquire_failure_records_nothing(armed):
+    lock = lockcheck.named_lock("test.tryfail")
+    with lock:
+        grabbed = []
+
+        def contender():
+            grabbed.append(lock.acquire(blocking=False))
+
+        thread = threading.Thread(target=contender)
+        thread.start()
+        thread.join(timeout=5.0)
+    assert grabbed == [False]
+    assert lock.acquire(blocking=False) is True
+    lock.release()
+    assert lockcheck.held_locks() == []

@@ -2,11 +2,30 @@
 
 from __future__ import annotations
 
+# Lockcheck must be armed BEFORE any repro import creates a module-level
+# lock, or those locks escape instrumentation (REPRO_LOCKCHECK=1 only).
+from repro.analysis import lockcheck as _lockcheck
+
+_LOCKCHECK_ON = _lockcheck.maybe_install_from_env()
+
 import numpy as np
 import pytest
 
 from repro.core import TFMAEConfig
 from repro.datasets import get_dataset, make_nips_ts_global
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _lockcheck_session_guard():
+    """With lockcheck armed, fail the session on any observed hazard.
+
+    Every lock acquisition in every test feeds one observed lock-order
+    graph; at session end a cycle or a lock-held-across-spawn event —
+    even one that never actually deadlocked in this run — fails loudly.
+    """
+    yield
+    if _LOCKCHECK_ON:
+        _lockcheck.assert_clean()
 
 
 @pytest.fixture

@@ -56,6 +56,28 @@ class TestParser:
         with pytest.warns(DeprecationWarning):
             assert _resolve_serve_threads(args) == 5
 
+    @pytest.mark.parametrize("argv, message", [
+        (["serve", "--procs", "-1"], "--procs must be >= 0"),
+        (["serve", "--threads", "0"], "--threads must be >= 1"),
+        (["serve", "--threads", "-2"], "--threads must be >= 1"),
+        (["serve", "--workers", "0"], "--workers must be >= 1"),
+        (["serve", "--max-inflight", "0"], "--max-inflight must be >= 1"),
+        (["serve", "--max-inflight", "-5"], "--max-inflight must be >= 1"),
+    ])
+    def test_serve_rejects_nonsensical_counts(self, argv, message):
+        from repro.cli import _validate_serve_args
+
+        args = build_parser().parse_args(argv)
+        with pytest.raises(SystemExit, match=message):
+            _validate_serve_args(args)
+
+    def test_serve_accepts_valid_counts(self):
+        from repro.cli import _validate_serve_args
+
+        args = build_parser().parse_args(
+            ["serve", "--procs", "0", "--threads", "1", "--max-inflight", "1"])
+        _validate_serve_args(args)  # does not raise
+
 
 class TestCommands:
     def test_list_datasets(self, capsys):
